@@ -1,0 +1,122 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the contribution of individual
+mechanisms:
+
+* **skip blocks vs conversion** (§5.4, Fig. 5 vs Fig. 4): does keeping the
+  DAG moving with skip blocks preserve more EOV (preplayed) throughput than
+  converting conflicted batches to cross-shard handling?
+* **leader gate (P3) timeout**: the cost of waiting for the wave leader
+  before preplaying.
+* **validator pool size**: §4's parallel validation vs serial validation.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_micro, run_system, scaled
+from repro.ce import CommittedTx
+from repro.ce.validation import estimate_validation_cost
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_skip_blocks_vs_conversion(benchmark, fig_table):
+    """§5.4: skip blocks should keep a larger share of transactions on the
+    preplayed (EOV) path under cross-shard interference."""
+    def sweep():
+        out = {}
+        for skip in (True, False):
+            result = run_system("ce", scaled(8, 8, 4),
+                                duration=scaled(0.8, 0.5, 0.25),
+                                cross_shard_ratio=0.2, drain=0.1,
+                                skip_blocks=skip)
+            out[skip] = result
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for skip, result in results.items():
+        mode = "skip-blocks" if skip else "conversion"
+        single_share = result.executed_single / max(1, result.executed)
+        fig_table.add(mode, round(result.throughput),
+                      f"{single_share:.0%}",
+                      round(result.mean_latency * 1000, 2))
+    fig_table.show("Ablation - skip blocks (Fig. 5) vs conversion (Fig. 4)",
+                   ["mode", "tps", "EOV share", "latency_ms"])
+    skip_share = results[True].executed_single / max(1, results[True].executed)
+    conv_share = (results[False].executed_single
+                  / max(1, results[False].executed))
+    assert skip_share >= conv_share
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_leader_timeout(benchmark, fig_table):
+    """P3/P6: a tighter leader timeout converts more batches (cheaper
+    stalls, more OE work); a looser one waits more."""
+    def sweep():
+        out = {}
+        for timeout in (0.002, 0.02, 0.1):
+            result = run_system("ce", scaled(8, 8, 4),
+                                duration=scaled(0.8, 0.5, 0.25),
+                                leader_timeout=timeout)
+            out[timeout] = result
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for timeout, result in results.items():
+        fig_table.add(f"{timeout * 1000:.0f} ms", round(result.throughput),
+                      round(result.mean_latency * 1000, 2))
+    fig_table.show("Ablation - leader gate timeout",
+                   ["leader timeout", "tps", "latency_ms"])
+    for result in results.values():
+        assert result.executed > 0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_parallel_validation(benchmark, fig_table):
+    """§4: the dependency-graph validator parallelises across disjoint
+    transactions; measure the modelled speedup vs a serial validator."""
+    def measure():
+        from repro.contracts import default_registry, initial_state
+        from repro.core import ShardMap
+        from repro.workloads import SmallBankWorkload, WorkloadConfig
+        workload = SmallBankWorkload(
+            WorkloadConfig(accounts=10_000, theta=0.85),
+            ShardMap(1), seed=3)
+        from repro.contracts import run_inline
+        registry = default_registry()
+        state = initial_state(10_000)
+        entries = []
+        replay = dict(state)
+        for index, tx in enumerate(workload.batch(scaled(500, 300, 100))):
+            record = run_inline(registry.get(tx.contract), tx.args, replay)
+            replay.update(record.write_set)
+            entries.append(CommittedTx(tx.tx_id, index, record.read_set,
+                                       record.write_set, record.result, 1))
+        return {validators: estimate_validation_cost(entries,
+                                                     validators=validators)
+                for validators in (1, 4, 16)}
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for validators, cost in costs.items():
+        fig_table.add(validators, f"{cost * 1000:.3f}")
+    fig_table.show("Ablation - validation cost vs validator pool size",
+                   ["validators", "ms/block"])
+    assert costs[16] < costs[1]
+    assert costs[4] <= costs[1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_size(benchmark, fig_table):
+    """Batch size trade-off in the CE (the paper runs b300 vs b500)."""
+    def sweep():
+        return {batch: run_micro("Thunderbolt", batch, 16)
+                for batch in (scaled(100, 50, 30), scaled(300, 150, 60),
+                              scaled(500, 250, 100))}
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for batch, point in points.items():
+        fig_table.add(batch, round(point["tps"]),
+                      round(point["re_exec"], 3))
+    fig_table.show("Ablation - CE batch size (16 executors, theta=0.85)",
+                   ["batch", "tps", "re-exec/tx"])
+    for point in points.values():
+        assert point["tps"] > 0

@@ -1,0 +1,82 @@
+"""Figure 11 — CE vs OCC vs 2PL-No-Wait, scaling the executor pool.
+
+Paper setup (§11.3): SmallBank over 10,000 accounts, theta = 0.85, batch
+sizes 300 and 500, executors in {1, 4, 8, 12, 16}; panel (a) is the
+read-write balanced workload (Pr = 0.5), panel (b) update-only (Pr = 0).
+Each panel reports throughput, mean latency, and re-executions per
+transaction.
+
+Expected shapes (paper): 2PL-No-Wait degrades beyond 8 executors
+(no-wait abort storm); Thunderbolt and OCC peak around 12 and hold steady;
+Thunderbolt posts the highest throughput and the lowest re-execution count
+(roughly half of OCC's).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_micro, scaled
+
+EXECUTORS = [1, 4, 8, 12, 16]
+BATCHES = [scaled(300, 120, 60), scaled(500, 200, 100)]
+PROTOCOLS = ["Thunderbolt", "OCC", "2PL-No-Wait"]
+
+
+def sweep(pr):
+    rows = []
+    series = {}
+    for protocol in PROTOCOLS:
+        for batch in BATCHES:
+            label = f"{protocol}-b{batch}"
+            for executors in EXECUTORS:
+                point = run_micro(protocol, batch, executors, pr=pr)
+                rows.append([label, executors, round(point["tps"]),
+                             round(point["latency"] * 1000, 3),
+                             round(point["re_exec"], 3)])
+                series.setdefault(label, {})[executors] = point
+    return rows, series
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_read_write_balanced(benchmark, fig_table):
+    """Fig. 11(a): Pr = 0.5."""
+    rows, series = benchmark.pedantic(sweep, args=(0.5,), rounds=1,
+                                      iterations=1)
+    for row in rows:
+        fig_table.add(*row)
+    fig_table.show(
+        "Figure 11(a) - read-write balanced (Pr=0.5), theta=0.85",
+        ["protocol", "executors", "tps", "latency_ms", "re-exec/tx"])
+    benchmark.extra_info["series"] = {
+        label: {e: round(p["tps"]) for e, p in points.items()}
+        for label, points in series.items()}
+    _assert_shapes(series)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_update_only(benchmark, fig_table):
+    """Fig. 11(b): Pr = 0 (update-only)."""
+    rows, series = benchmark.pedantic(sweep, args=(0.0,), rounds=1,
+                                      iterations=1)
+    for row in rows:
+        fig_table.add(*row)
+    fig_table.show(
+        "Figure 11(b) - update only (Pr=0), theta=0.85",
+        ["protocol", "executors", "tps", "latency_ms", "re-exec/tx"])
+    _assert_shapes(series)
+
+
+def _assert_shapes(series):
+    """The qualitative relations the paper reports."""
+    batch = max(BATCHES)
+    tb = series[f"Thunderbolt-b{batch}"]
+    occ = series[f"OCC-b{batch}"]
+    tpl = series[f"2PL-No-Wait-b{batch}"]
+    # Thunderbolt's best throughput beats both baselines' best.
+    best = lambda s: max(p["tps"] for p in s.values())
+    assert best(tb) >= best(occ)
+    assert best(tb) >= best(tpl)
+    # Thunderbolt re-executes least at the largest pool.
+    assert tb[16]["re_exec"] <= occ[16]["re_exec"]
+    assert tb[16]["re_exec"] <= tpl[16]["re_exec"]
+    # Parallelism helps Thunderbolt: 16 executors beat 1.
+    assert tb[16]["tps"] > tb[1]["tps"]

@@ -1,0 +1,91 @@
+"""Figure 12 — CE vs baselines across contention (theta) and read mix (Pr).
+
+Paper setup (§11.3): panels (a, b) sweep theta in {0.75, 0.8, 0.85, 0.9} at
+Pr = 0.5; panels (c, d) sweep Pr in {1, 0.8, 0.5, 0.1, 0} at theta = 0.85.
+16 executors, batches 300/500.
+
+Expected shapes: at theta = 0.75 OCC and Thunderbolt are comparable; as
+theta grows to 0.9 OCC declines sharply while Thunderbolt holds;
+2PL-No-Wait is flat-ish (lock-bound).  At Pr = 1 all protocols are close
+(OCC slightly ahead); as writes grow, 2PL collapses first and Thunderbolt
+stays above OCC.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_micro, scaled
+
+THETAS = [0.75, 0.80, 0.85, 0.90]
+PRS = [1.0, 0.8, 0.5, 0.1, 0.0]
+BATCHES = [scaled(300, 120, 60), scaled(500, 200, 100)]
+PROTOCOLS = ["Thunderbolt", "OCC", "2PL-No-Wait"]
+EXECUTORS = 16
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12ab_theta_sweep(benchmark, fig_table):
+    """Fig. 12(a,b): throughput / latency vs theta at Pr = 0.5."""
+    def sweep():
+        series = {}
+        for protocol in PROTOCOLS:
+            for batch in BATCHES:
+                label = f"{protocol}-b{batch}"
+                for theta in THETAS:
+                    point = run_micro(protocol, batch, EXECUTORS, pr=0.5,
+                                      theta=theta)
+                    series.setdefault(label, {})[theta] = point
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, points in series.items():
+        for theta, point in points.items():
+            fig_table.add(label, theta, round(point["tps"]),
+                          round(point["latency"] * 1000, 3),
+                          round(point["re_exec"], 3))
+    fig_table.show("Figure 12(a,b) - theta sweep (Pr=0.5, 16 executors)",
+                   ["protocol", "theta", "tps", "latency_ms", "re-exec/tx"])
+    batch = max(BATCHES)
+    tb = series[f"Thunderbolt-b{batch}"]
+    occ = series[f"OCC-b{batch}"]
+    # OCC's decline from low to high contention is steeper than
+    # Thunderbolt's (the Fig. 12(a) crossover story).
+    occ_drop = occ[0.75]["tps"] / max(occ[0.90]["tps"], 1)
+    tb_drop = tb[0.75]["tps"] / max(tb[0.90]["tps"], 1)
+    assert occ_drop > tb_drop
+    assert tb[0.90]["tps"] > occ[0.90]["tps"]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12cd_pr_sweep(benchmark, fig_table):
+    """Fig. 12(c,d): throughput / latency vs Pr at theta = 0.85."""
+    def sweep():
+        series = {}
+        for protocol in PROTOCOLS:
+            for batch in BATCHES:
+                label = f"{protocol}-b{batch}"
+                for pr in PRS:
+                    point = run_micro(protocol, batch, EXECUTORS, pr=pr,
+                                      theta=0.85)
+                    series.setdefault(label, {})[pr] = point
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for label, points in series.items():
+        for pr, point in points.items():
+            fig_table.add(label, pr, round(point["tps"]),
+                          round(point["latency"] * 1000, 3),
+                          round(point["re_exec"], 3))
+    fig_table.show("Figure 12(c,d) - Pr sweep (theta=0.85, 16 executors)",
+                   ["protocol", "Pr", "tps", "latency_ms", "re-exec/tx"])
+    batch = max(BATCHES)
+    tb = series[f"Thunderbolt-b{batch}"]
+    occ = series[f"OCC-b{batch}"]
+    tpl = series[f"2PL-No-Wait-b{batch}"]
+    # At Pr = 1 (all reads) the protocols are within ~35% of each other.
+    all_read = [tb[1.0]["tps"], occ[1.0]["tps"], tpl[1.0]["tps"]]
+    assert max(all_read) / min(all_read) < 1.35
+    # Under writes, Thunderbolt leads OCC, which leads 2PL.
+    assert tb[0.0]["tps"] > occ[0.0]["tps"]
+    assert occ[0.0]["tps"] > tpl[0.0]["tps"] * 0.9
+    # 2PL's latency rises sharply as writes appear.
+    assert tpl[0.0]["latency"] > tpl[1.0]["latency"]

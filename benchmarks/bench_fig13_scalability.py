@@ -1,0 +1,111 @@
+"""Figure 13 — system scalability: Thunderbolt vs Thunderbolt-OCC vs Tusk.
+
+Paper setup (§12): SmallBank, Pr = 0.5, theta = 0.85, 1000 accounts, 16
+executors + 16 validators per replica, replicas in {8, 16, 32, 64}, LAN and
+WAN deployments.  Thunderbolt reaches ~500K TPS at 64 replicas vs Tusk's
+~11K (the 50x headline), with Thunderbolt-OCC slightly behind Thunderbolt;
+Tusk's latency explodes (serial post-order execution backlog) while
+Thunderbolt's stays low.  WAN shows the same ordering with latency
+dominated by the network.
+
+Simulation scales: durations shrink as replica counts grow so every point
+simulates a comparable number of committed rounds; within a data point all
+three systems use identical parameters, so the comparisons (who wins, by
+what rough factor) are preserved even though absolute TPS differs from the
+paper's testbed.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_system, scaled
+from repro.sim import LatencyModel
+
+REPLICAS = scaled([8, 16, 32, 64], [8, 16, 32, 64], [4, 8])
+SYSTEMS = [("Thunderbolt", "ce"), ("Thunderbolt-OCC", "occ"),
+           ("Tusk", "serial")]
+
+
+def _duration(n, wan):
+    if wan:
+        # WAN rounds take ~0.25 s; keep enough rounds at every scale.
+        return scaled(8.0, 2.5, 1.5)
+    base = scaled(0.5, 0.25, 0.2)
+    return base * (8 / n) ** 0.7 if n > 8 else base
+
+
+def sweep(latency_model, wan):
+    series = {}
+    for name, engine in SYSTEMS:
+        for n in REPLICAS:
+            if wan:
+                # WAN rounds are ~500x longer than LAN rounds, so blocks
+                # must be much larger for execution (not round cadence) to
+                # be the binding constraint — as in the paper, where WAN
+                # runs keep the 500-transaction batches.  Without this,
+                # Tusk never reaches its serial wall and the comparison
+                # degenerates into round-pacing noise.
+                result = run_system(engine, n, duration=_duration(n, wan),
+                                    latency_model=latency_model,
+                                    batch_size=scaled(300, 160, 60),
+                                    demand_factor=6)
+            else:
+                result = run_system(engine, n, duration=_duration(n, wan),
+                                    latency_model=latency_model)
+            series.setdefault(name, {})[n] = result
+    return series
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_lan(benchmark, fig_table):
+    series = benchmark.pedantic(sweep, args=(LatencyModel.lan(), False),
+                                rounds=1, iterations=1)
+    for name, points in series.items():
+        for n, result in points.items():
+            fig_table.add(name, n, round(result.throughput),
+                          round(result.mean_latency * 1000, 1),
+                          result.executed)
+    fig_table.show("Figure 13 (LAN) - throughput/latency vs replicas",
+                   ["system", "replicas", "tps", "latency_ms", "executed"])
+    _assert_shapes(series)
+    benchmark.extra_info["tps"] = {
+        name: {n: round(r.throughput) for n, r in points.items()}
+        for name, points in series.items()}
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_wan(benchmark, fig_table):
+    series = benchmark.pedantic(sweep, args=(LatencyModel.wan(), True),
+                                rounds=1, iterations=1)
+    for name, points in series.items():
+        for n, result in points.items():
+            fig_table.add(name, n, round(result.throughput),
+                          round(result.mean_latency * 1000, 1),
+                          result.executed)
+    fig_table.show("Figure 13 (WAN) - throughput/latency vs replicas",
+                   ["system", "replicas", "tps", "latency_ms", "executed"])
+    largest = max(REPLICAS)
+    tb = series["Thunderbolt"][largest]
+    tusk = series["Tusk"][largest]
+    assert tb.throughput > scaled(2.0, 1.3, 0.8) * tusk.throughput
+    # WAN latency dominates: the Thunderbolt/Tusk latency gap narrows
+    # relative to LAN (the paper's observation).
+    assert tb.mean_latency > 0.02  # network-bound
+
+
+def _assert_shapes(series):
+    largest = max(REPLICAS)
+    tb = series["Thunderbolt"][largest]
+    occ = series["Thunderbolt-OCC"][largest]
+    tusk = series["Tusk"][largest]
+    # The headline: Thunderbolt >> Tusk at the largest scale.  The margin
+    # grows with scale; the quick profile only reaches the crossover.
+    assert tb.throughput > scaled(5, 3, 1.05) * tusk.throughput
+    # Thunderbolt >= Thunderbolt-OCC at scale.
+    assert tb.throughput >= 0.85 * occ.throughput
+    # Thunderbolt scales with replicas; Tusk does not (serial bottleneck).
+    smallest = min(REPLICAS)
+    assert series["Thunderbolt"][largest].throughput > \
+        scaled(1.5, 1.5, 1.2) * series["Thunderbolt"][smallest].throughput
+    assert tusk.throughput < 2 * series["Tusk"][smallest].throughput
+    # Tusk's latency far exceeds Thunderbolt's (execution backlog).
+    assert tusk.mean_latency > scaled(3, 2, 1.2) * tb.mean_latency

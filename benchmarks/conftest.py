@@ -1,0 +1,154 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every module under ``benchmarks/`` regenerates one figure of the paper's
+evaluation (§11–12): it sweeps the same parameter axis, prints the same
+series, and records the simulated-time measurements in
+``benchmark.extra_info`` so ``pytest-benchmark`` output carries them.
+
+Scales: the paper ran 36-vCPU AWS instances and up to 64 replicas; the
+simulation reproduces the *shapes* at reduced batch sizes / durations so the
+whole suite completes on a laptop.  Set ``REPRO_BENCH_QUICK=1`` for a
+fast smoke pass (CI-sized), or ``REPRO_BENCH_FULL=1`` to push scales up.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.baselines import OCCRunner, SerialRunner, TPLNoWaitRunner
+from repro.ce import CEConfig, CERunner
+from repro.contracts import default_registry, initial_state
+from repro.core import ShardMap, ThunderboltConfig
+from repro.core.cluster import Cluster, ClusterResult
+from repro.metrics import format_table
+from repro.sim import Environment, LatencyModel, make_rng
+from repro.workloads import SmallBankWorkload, WorkloadConfig
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def scaled(full_value, default_value, quick_value):
+    """Pick a parameter by bench scale."""
+    if FULL:
+        return full_value
+    if QUICK:
+        return quick_value
+    return default_value
+
+
+ENGINE_RUNNERS = {
+    "Thunderbolt": CERunner,
+    "OCC": OCCRunner,
+    "2PL-No-Wait": TPLNoWaitRunner,
+    "Serial": SerialRunner,
+}
+
+#: Seeds averaged per data point (the paper averages 50 runs; 3 keeps the
+#: suite fast while smoothing scheduling noise).
+MICRO_SEEDS = scaled(5, 2, 1)
+
+
+def make_micro_batch(size: int, accounts: int, theta: float, pr: float,
+                     seed: int):
+    """A CE micro-benchmark batch: the §11.2 SmallBank setup (GetBalance
+    with probability Pr, SendPayment otherwise, Zipfian accounts)."""
+    workload = SmallBankWorkload(
+        WorkloadConfig(accounts=accounts, read_probability=pr, theta=theta),
+        ShardMap(1), seed=seed)
+    return workload.batch(size)
+
+
+def run_micro(protocol: str, batch_size: int, executors: int,
+              pr: float = 0.5, theta: float = 0.85,
+              accounts: int = 10_000) -> Dict[str, float]:
+    """One Fig. 11/12 data point, averaged over seeds.
+
+    Returns throughput (tps), mean latency (s), and re-executions per
+    transaction — the three panels of Fig. 11.
+    """
+    runner_cls = ENGINE_RUNNERS[protocol]
+    registry = default_registry()
+    state = initial_state(accounts)
+    throughput = latency = re_exec = 0.0
+    for seed in range(MICRO_SEEDS):
+        txs = make_micro_batch(batch_size, accounts, theta, pr, seed=seed)
+        env = Environment()
+        runner = runner_cls(registry, CEConfig(executors=executors),
+                            make_rng(seed * 31 + 7))
+        proc = runner.run_batch(env, txs, state)
+        env.run()
+        result = proc.value
+        throughput += result.throughput / MICRO_SEEDS
+        latency += result.mean_latency / MICRO_SEEDS
+        re_exec += result.re_executions_per_tx / MICRO_SEEDS
+    return {"tps": throughput, "latency": latency, "re_exec": re_exec}
+
+
+def run_system(engine: str, n_replicas: int, duration: float,
+               latency_model: Optional[LatencyModel] = None,
+               cross_shard_ratio: float = 0.0,
+               accounts: int = 1000,
+               batch_size: Optional[int] = None,
+               crash_replicas: Sequence[int] = (),
+               drain: float = 0.0,
+               seed: int = 0,
+               **config_overrides) -> ClusterResult:
+    """One §12 system-evaluation run.
+
+    ``engine`` is "ce" (Thunderbolt), "occ" (Thunderbolt-OCC), or "serial"
+    (Tusk).  Batch sizes shrink with replica count so large clusters stay
+    tractable in pure Python while the per-figure comparisons stay fair
+    (every system at a data point uses identical parameters).
+    """
+    if batch_size is None:
+        batch_size = scaled(50, 30, 15) if n_replicas <= 16 \
+            else scaled(30, 15, 8)
+    # The paper's regime: Tusk's serial post-order execution wall
+    # (1 / (3 ops * op_cost) ~ 66K tps) sits far below Thunderbolt's
+    # 16-validator ceiling (~1M tps), so Thunderbolt scales with replicas
+    # while Tusk stays flat.
+    op_cost = 5e-6
+    settings = dict(
+        n_replicas=n_replicas, engine=engine, batch_size=batch_size,
+        ce=CEConfig(executors=16, op_cost=op_cost), validators=16,
+        strict_validation=False,  # cost-modelled validation at bench scale
+        validation_op_cost=op_cost,
+        latency=latency_model or LatencyModel.lan(),
+        leader_timeout=0.02, seed=seed,
+        demand_factor=3,  # saturate: throughput measures capacity
+    )
+    settings.update(config_overrides)  # per-figure overrides win
+    config = ThunderboltConfig(**settings)
+    workload = WorkloadConfig(accounts=max(accounts, 2 * n_replicas),
+                              read_probability=0.5, theta=0.85,
+                              cross_shard_ratio=cross_shard_ratio)
+    cluster = Cluster(config, workload, crash_replicas=crash_replicas,
+                      crash_at=0.05)
+    return cluster.run(duration, drain=drain)
+
+
+def emit(title: str, headers: List[str], rows: List[List]) -> None:
+    """Print one figure's table (captured by pytest -s / the bench log)."""
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+@pytest.fixture
+def fig_table():
+    """Collects rows during a bench and prints the figure table at the
+    end of the test."""
+    class _Table:
+        def __init__(self):
+            self.rows: List[List] = []
+
+        def add(self, *row):
+            self.rows.append(list(row))
+
+        def show(self, title, headers):
+            emit(title, headers, self.rows)
+
+    return _Table()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: run a 4-replica Thunderbolt cluster on SmallBank.
+
+Demonstrates the one-call public API and prints the headline metrics —
+throughput, latency, and the safety checks (consistent commit logs,
+convergent state).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ThunderboltConfig, WorkloadConfig
+from repro.core.cluster import Cluster
+
+
+def main() -> None:
+    config = ThunderboltConfig(
+        n_replicas=4,        # each replica is also a shard proposer
+        batch_size=50,       # single-shard transactions preplayed per round
+        engine="ce",         # the paper's Concurrent Executor
+        seed=7,
+    )
+    workload = WorkloadConfig(
+        accounts=400,            # SmallBank account pool
+        read_probability=0.5,    # Pr: GetBalance vs SendPayment mix
+        theta=0.85,              # Zipfian contention (paper's default)
+        cross_shard_ratio=0.05,  # 5% of payments span two shards
+    )
+
+    print("Building a 4-replica Thunderbolt cluster...")
+    cluster = Cluster(config, workload)
+    result = cluster.run(duration=1.0, drain=0.3)
+
+    print(f"\nSimulated 1.0 s of cluster time:")
+    print(f"  executed            {result.executed:,} transactions "
+          f"({result.executed_single:,} single-shard, "
+          f"{result.executed_cross:,} cross-shard)")
+    print(f"  throughput          {result.throughput:,.0f} tps")
+    print(f"  mean latency        {result.mean_latency * 1000:.2f} ms "
+          f"(p99 {result.p99_latency * 1000:.2f} ms)")
+    print(f"  blocks committed    {result.blocks_committed:,}")
+    print(f"  CE re-executions    {result.re_executions:,}")
+    print(f"  validation failures {result.validation_failures}")
+
+    print("\nSafety checks:")
+    consistent = cluster.logs_prefix_consistent()
+    print(f"  commit logs prefix-consistent across replicas: {consistent}")
+    checksums = cluster.state_checksums()
+    by_length = {}
+    for replica_id, (log_len, checksum) in checksums.items():
+        by_length.setdefault(log_len, set()).add(checksum)
+    converged = all(len(sums) == 1 for sums in by_length.values())
+    print(f"  replica states converge at equal log lengths:  {converged}")
+
+    replica = cluster.replicas[0]
+    total = sum(value for _, value in replica.store.scan())
+    expected = workload.accounts * 20_000
+    print(f"  money conserved: {total:,} == {expected:,}: "
+          f"{total == expected}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy entry point: this environment lacks the ``wheel`` package, so
+editable installs go through ``setup.py develop`` (--no-use-pep517)."""
+from setuptools import setup
+
+setup()

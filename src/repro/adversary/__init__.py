@@ -1,0 +1,6 @@
+"""Fault and attack injection for experiments."""
+
+from repro.adversary.behaviors import (Censorship, install_proposal_delay,
+                                       schedule_crashes)
+
+__all__ = ["Censorship", "install_proposal_delay", "schedule_crashes"]

@@ -1,0 +1,94 @@
+"""Byzantine / fault behaviours for experiments (§6, §12 "Failures").
+
+The evaluation needs three adversaries:
+
+* **crash-stop** — a replica goes silent (Fig. 17); available directly via
+  :meth:`repro.core.replica.Replica.crash`, scheduled here.
+* **censorship** — a proposer suppresses its block proposals (dropping the
+  shard's transactions) while still voting, the attack §6's reconfiguration
+  counters; modelled as a network filter on ``proposal``/``vertex`` traffic.
+* **delay** — a proposer's blocks are delayed past the round timeout,
+  triggering P6 conversions and, if persistent, Shift blocks (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.cluster import Cluster
+from repro.sim.network import Message
+
+
+class Censorship:
+    """Suppress block dissemination from ``replicas`` during a window.
+
+    The replicas keep voting (they are not crashed), so the DAG keeps
+    growing — but their shards' transactions vanish, which is exactly the
+    attack the Shift-block rotation bounds.
+    """
+
+    def __init__(self, replicas: Iterable[int], start: float = 0.0,
+                 end: Optional[float] = None) -> None:
+        self.replicas = frozenset(replicas)
+        self.start = start
+        self.end = end
+
+    def install(self, cluster: Cluster) -> None:
+        def censor_filter(message: Message) -> bool:
+            if message.sender not in self.replicas:
+                return True
+            if message.kind not in ("proposal", "vertex"):
+                return True
+            now = cluster.env.now
+            if now < self.start:
+                return True
+            if self.end is not None and now >= self.end:
+                return True
+            return False
+        cluster.network.add_filter(censor_filter)
+
+
+def schedule_crashes(cluster: Cluster, replicas: Sequence[int],
+                     at: float) -> None:
+    """Crash-stop ``replicas`` at simulated time ``at``."""
+    def crasher():
+        yield cluster.env.timeout(at)
+        for replica_id in replicas:
+            cluster.replicas[replica_id].crash()
+    cluster.env.process(crasher())
+
+
+def install_proposal_delay(cluster: Cluster, replicas: Iterable[int],
+                           extra_delay: float) -> None:
+    """Delay block dissemination from ``replicas`` by ``extra_delay``.
+
+    Implemented by re-sending the message after the delay through a relay
+    process; triggers P6 timeouts at honest proposers when the delay
+    exceeds ``leader_timeout``.
+    """
+    blocked = frozenset(replicas)
+    env = cluster.env
+    network = cluster.network
+
+    def delay_filter(message: Message) -> bool:
+        if message.sender not in blocked \
+                or message.kind not in ("proposal", "vertex"):
+            return True
+        if getattr(message, "_delayed", False):
+            return True
+
+        def relay():
+            yield env.timeout(extra_delay)
+            clone = Message(sender=message.sender,
+                            recipient=message.recipient,
+                            kind=message.kind, payload=message.payload,
+                            sent_at=env.now)
+            clone._delayed = True
+            for delivery_filter in list(network._filters):
+                if not delivery_filter(clone):
+                    return
+            network._inboxes[clone.recipient].put(clone)
+        env.process(relay())
+        return False
+    network.add_filter(delay_filter)

@@ -1,0 +1,8 @@
+"""Baseline execution engines compared against the CE in §11: serial
+execution (Tusk's model), OCC, and 2PL-No-Wait."""
+
+from repro.baselines.occ import OCCRunner
+from repro.baselines.serial import SerialRunner
+from repro.baselines.two_phase_locking import TPLNoWaitRunner
+
+__all__ = ["OCCRunner", "SerialRunner", "TPLNoWaitRunner"]

@@ -1,0 +1,32 @@
+"""The Concurrent Executor (CE): the paper's core contribution (§7–8).
+
+* :class:`~repro.ce.controller.ConcurrencyController` — dependency-graph
+  concurrency control without prior read/write-set knowledge.
+* :class:`~repro.ce.runner.CERunner` — the simulated executor pool.
+* :func:`~repro.ce.validation.validate_block` — commit-time parallel
+  validation of preplay results.
+"""
+
+from repro.ce.controller import (CCStats, CommittedTx, ConcurrencyController)
+from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
+                               NodeStatus, TxNode)
+from repro.ce.runner import BatchResult, CEConfig, CERunner
+from repro.ce.validation import (ValidationOutcome, build_validation_levels,
+                                 validate_block)
+
+__all__ = [
+    "BatchResult",
+    "CCStats",
+    "CEConfig",
+    "CERunner",
+    "CommittedTx",
+    "ConcurrencyController",
+    "DependencyGraph",
+    "EdgeKind",
+    "KeyRecord",
+    "NodeStatus",
+    "TxNode",
+    "ValidationOutcome",
+    "build_validation_levels",
+    "validate_block",
+]

@@ -1,0 +1,384 @@
+"""The nondeterministic concurrency controller (CC) of the Concurrent
+Executor (§7–8).
+
+The CC receives operations from executors *as they happen*, with no prior
+knowledge of read/write sets, and maintains the dependency graph of
+:mod:`repro.ce.depgraph`.  Its contract:
+
+* **Execution phase** — ``read``/``write`` record operations, serve reads
+  (including reads of uncommitted data along read-from edges), and wire the
+  ordering edges of §8.2–8.3.  Conflicts trigger the §8.4 repair-then-abort
+  process; aborted transactions raise :class:`TransactionAborted` and must be
+  re-executed by their executor.
+* **Finalization phase** — ``finish`` declares a transaction complete; it
+  commits (receives its position in the serialized execution order and
+  surfaces its write set) as soon as every dependency has committed, exactly
+  like Table 1's "Wait for T1".
+
+Edge-wiring rules implemented (with the paper section they come from):
+
+R1 (§8.2, Fig. 9a): a new writer of K receives an anti-edge from every live
+    node holding a read record on K (the reader saw the pre-write version,
+    so it must precede the writer).  If the reader is already ordered
+    *after* the writer, its read is stale — the reader aborts (cascading).
+
+R2 (§8.2, Fig. 9b): a read of K attaches to the latest writer of K that does
+    not create a cycle (walking earlier writers = the "read from ancestor"
+    repair of §8.4, with the root/storage as the final fallback), then every
+    other writer of K is pinned: either a path into the chosen writer, or an
+    anti-edge putting it after the reader.  Writers that can do neither are
+    conflicting and abort (or, per §8.4 case 1, if the reading transaction
+    has no writes it aborts itself instead of killing a writer).
+
+R3 (§8.3, Table 1 t5/t9, Fig. 10b): a repeated write to K by T invalidates
+    every transaction that read T's previous value on K — they abort with
+    cascading (rf-descendants go too).
+
+R4 (commit): when T commits, every other live writer of each key T wrote
+    receives a write-write edge ``T -> v`` (Write-Complete, Def. 5: commit
+    order is write order).  This edge can never cycle because v could not
+    have committed, hence no path v -> T existed through committed nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
+                               NodeStatus, TxNode, _UNSET)
+from repro.errors import SerializationError, TransactionAborted
+
+
+@dataclass
+class CCStats:
+    """Counters the Fig. 11 experiments report."""
+
+    reads: int = 0
+    writes: int = 0
+    aborts: int = 0
+    cascading_aborts: int = 0
+    commits: int = 0
+    conflict_repairs: int = 0  # reads repaired by the ancestor fallback
+
+
+@dataclass
+class CommittedTx:
+    """Preplay outcome for one committed transaction (§4: the block carries
+    read/write sets, results, and the scheduled order)."""
+
+    tx_id: int
+    order_index: int
+    read_set: Dict[str, Any]
+    write_set: Dict[str, Any]
+    result: Any
+    attempts: int
+
+
+class ConcurrencyController:
+    """Dependency-graph concurrency control without a-priori read/write sets.
+
+    ``base_state`` is the root: reads that no live/committed writer can
+    serve fall through to it (missing keys read ``default``).  Committed
+    write sets accumulate in an overlay so later transactions in the same
+    batch observe them even after graph pruning.
+    """
+
+    def __init__(self, base_state: Mapping[str, Any],
+                 default: Any = 0,
+                 on_abort: Optional[Callable[[int], None]] = None,
+                 on_commit: Optional[Callable[[CommittedTx], None]] = None,
+                 check_invariants: bool = False) -> None:
+        self.graph = DependencyGraph()
+        self._base_state = base_state
+        self._default = default
+        self._on_abort = on_abort
+        self._on_commit = on_commit
+        self._check_invariants = check_invariants
+        self._overlay: Dict[str, Any] = {}
+        self._order_counter = 0
+        self._committed: List[CommittedTx] = []
+        self._attempts: Dict[int, int] = {}
+        self._finish_time = 0.0
+        self.stats = CCStats()
+
+    # ------------------------------------------------------------------ API
+
+    def begin(self, tx_id: int, now: float = 0.0) -> TxNode:
+        """Start (or restart) a transaction attempt."""
+        attempt = self._attempts.get(tx_id, 0) + 1
+        self._attempts[tx_id] = attempt
+        node = TxNode(tx_id=tx_id, attempt=attempt, started_at=now)
+        self.graph.add_node(node)
+        return node
+
+    def read(self, node: TxNode, key: str) -> Any:
+        """Perform ``<Read, key>`` for ``node``; returns the value."""
+        self._require_live(node, "read")
+        self.stats.reads += 1
+        record = node.records.get(key)
+        if record is not None and (record.has_read or record.wrote):
+            # §8.3: the node already holds the value for this key.
+            return record.read_value()
+        value, source = self._choose_read_source(node, key)
+        record = node.records.setdefault(key, KeyRecord())
+        record.first_read = value
+        record.read_from = source
+        self.graph.register_reader(key, node)
+        if source is not None:
+            source.records[key].readers[node] = None
+            self.graph.add_edge(source, node, key, EdgeKind.READ_FROM)
+        self._pin_other_writers(node, key, source)
+        self._require_live(node, "read")  # pinning may have aborted us
+        return value
+
+    def write(self, node: TxNode, key: str, value: Any) -> None:
+        """Perform ``<Write, key, value>`` for ``node``."""
+        self._require_live(node, "write")
+        self.stats.writes += 1
+        record = node.records.get(key)
+        if record is not None and record.wrote:
+            # R3: repeated write — readers of our previous value are stale.
+            for reader in list(record.readers):
+                self._abort(reader, reason=f"stale read of {key}",
+                            cascading=True)
+            record.readers.clear()
+            record.last_write = value
+            return
+        if record is None:
+            record = node.records.setdefault(key, KeyRecord())
+        record.wrote = True
+        record.last_write = value
+        self.graph.register_writer(key, node)
+        self._order_readers_before_writer(node, key)
+        self._require_live(node, "write")
+
+    def finish(self, node: TxNode, result: Any = None, now: float = 0.0) -> bool:
+        """Enter the finalization phase; returns True if committed now.
+
+        The commit may be deferred until dependencies commit (Table 1 t4);
+        it then happens automatically inside the dependency's own commit.
+        """
+        self._require_live(node, "finish")
+        node.result = result
+        node.status = NodeStatus.FINISHED
+        node.committed_at = None
+        self._finish_time = now
+        return self._try_commit(node, now)
+
+    def abort_transaction(self, tx_id: int, reason: str = "external") -> None:
+        """Externally abort a live transaction (used by tests/fault drills)."""
+        node = self.graph.get(tx_id)
+        if node is not None and node.alive:
+            self._abort(node, reason=reason, cascading=True)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def committed(self) -> List[CommittedTx]:
+        """Committed transactions in execution (serialization) order."""
+        return list(self._committed)
+
+    def committed_count(self) -> int:
+        return len(self._committed)
+
+    def execution_order(self) -> List[int]:
+        """The serialized schedule the preplay block publishes."""
+        return [entry.tx_id for entry in self._committed]
+
+    def final_writes(self) -> Dict[str, Any]:
+        """Final value of every key written by committed transactions."""
+        return dict(self._overlay)
+
+    def attempts_of(self, tx_id: int) -> int:
+        return self._attempts.get(tx_id, 0)
+
+    def read_root(self, key: str) -> Any:
+        """What the root currently answers for ``key`` (overlay then base)."""
+        if key in self._overlay:
+            return self._overlay[key]
+        return self._base_state.get(key, self._default)
+
+    # ------------------------------------------------------------- internals
+
+    def _require_live(self, node: TxNode, action: str) -> None:
+        if node.status is NodeStatus.ABORTED:
+            raise TransactionAborted(node.tx_id, f"detected at {action}")
+        if action in ("read", "write", "finish") \
+                and node.status is not NodeStatus.RUNNING:
+            raise SerializationError(
+                f"{action} on {node.tx_id} in state {node.status.value}")
+
+    def _choose_read_source(self, node: TxNode,
+                            key: str) -> Tuple[Any, Optional[TxNode]]:
+        """Pick the writer to read ``key`` from (R2).
+
+        Prefers the latest writer; walks toward older writers when a cycle
+        would form ("read from its ancestor", §8.4); falls back to the root.
+        """
+        writers = [w for w in self.graph.writers_of(key) if w is not node]
+        for writer in reversed(writers):
+            if not self.graph.has_path(node, writer):
+                return writer.records[key].last_write, writer
+            self.stats.conflict_repairs += 1
+        return self.read_root(key), None
+
+    def _pin_other_writers(self, node: TxNode, key: str,
+                           chosen: Optional[TxNode]) -> None:
+        """Order every other writer of ``key`` w.r.t. the read (R2).
+
+        Each other writer must end up with a path into ``chosen`` (its write
+        happened before the version we read) or after ``node`` (it will
+        overwrite later).  A writer that can do neither conflicts: per §8.4,
+        a read-only reader aborts itself, otherwise the writer aborts.
+        """
+        for writer in self.graph.writers_of(key):
+            if node.status is NodeStatus.ABORTED:
+                # A cascade triggered below can reach us through another key.
+                raise TransactionAborted(node.tx_id, f"cascade during {key}")
+            if writer is node or writer is chosen:
+                continue
+            if writer.status is NodeStatus.ABORTED:
+                continue  # aborted by a cascade earlier in this very loop
+            if chosen is not None and self.graph.has_path(writer, chosen):
+                continue
+            if self.graph.has_path(node, writer):
+                continue  # already ordered after the reader
+            if chosen is not None and not self.graph.has_path(chosen, writer) \
+                    and not self.graph.has_path(writer, node):
+                # Unordered w.r.t. both: pin it before the chosen writer.
+                self.graph.add_edge(writer, chosen, key, EdgeKind.PIN)
+                continue
+            if not self.graph.has_path(writer, node):
+                # Ordered after chosen (or root read): push it after us.
+                self.graph.add_edge(node, writer, key, EdgeKind.ANTI)
+                continue
+            # writer -> node exists and writer is not before the version we
+            # read: genuine conflict (§8.4).
+            if not node.has_any_write():
+                self._abort(node, reason=f"read cycle on {key}",
+                            cascading=True)
+                raise TransactionAborted(node.tx_id, f"read cycle on {key}")
+            if writer.status is NodeStatus.COMMITTED:
+                # Cannot reorder a committed writer; the reader must go.
+                self._abort(node, reason=f"read past committed write {key}",
+                            cascading=True)
+                raise TransactionAborted(node.tx_id,
+                                         f"read past committed {key}")
+            self._abort(writer, reason=f"write cycle on {key}",
+                        cascading=True)
+
+    def _order_readers_before_writer(self, node: TxNode, key: str) -> None:
+        """Anti-edges from every reader of ``key`` to the new writer (R1)."""
+        for reader in self.graph.readers_of(key):
+            if node.status is NodeStatus.ABORTED:
+                raise TransactionAborted(node.tx_id, f"cascade during {key}")
+            if reader is node:
+                continue
+            if reader.status is NodeStatus.ABORTED:
+                continue  # aborted by a cascade earlier in this very loop
+            record = reader.records.get(key)
+            if record is None or not record.has_read:
+                continue
+            if record.read_from is node:
+                continue  # it read *our* value; rf edge already orders us
+            if self.graph.has_path(reader, node):
+                continue
+            if self.graph.has_path(node, reader):
+                # The reader is serialized after us yet saw the old version.
+                if reader.status is NodeStatus.COMMITTED:
+                    # We cannot invalidate a committed read; the writer must
+                    # be the one to go (it is ordered impossibly).
+                    self._abort(node, reason=f"write under committed read "
+                                             f"of {key}", cascading=True)
+                    raise TransactionAborted(
+                        node.tx_id, f"write under committed read of {key}")
+                self._abort(reader, reason=f"stale read of {key}",
+                            cascading=True)
+                continue
+            self.graph.add_edge(reader, node, key, EdgeKind.ANTI)
+
+    # -- aborts ------------------------------------------------------------------
+
+    def _abort(self, node: TxNode, reason: str, cascading: bool) -> None:
+        """Abort ``node`` and everything that read its writes, then — only
+        after the whole cascade settled — re-check commits that the departed
+        edges were blocking.  (Committing mid-cascade could finalize a node
+        a deeper cascade level still has to kill.)"""
+        unblocked: List[TxNode] = []
+        self._abort_inner(node, reason, unblocked)
+        for neighbor in unblocked:
+            if neighbor.status is NodeStatus.FINISHED:
+                self._try_commit(neighbor, self._finish_time)
+
+    def _abort_inner(self, node: TxNode, reason: str,
+                     unblocked: List[TxNode]) -> None:
+        if node.status is NodeStatus.ABORTED:
+            return
+        if node.status is NodeStatus.COMMITTED:
+            raise SerializationError(
+                f"attempted to abort committed transaction {node.tx_id}")
+        node.status = NodeStatus.ABORTED
+        self.stats.aborts += 1
+        # Readers of any of our writes saw data that will never exist.
+        dependants: List[TxNode] = []
+        for record in node.records.values():
+            for reader in record.readers:
+                if reader.alive:
+                    dependants.append(reader)
+        unblocked.extend(self.graph.detach_node(node))
+        if self._on_abort is not None:
+            self._on_abort(node.tx_id)
+        for dependant in dependants:
+            if dependant.status is not NodeStatus.ABORTED:
+                self.stats.cascading_aborts += 1
+                self._abort_inner(dependant,
+                                  f"cascade from {node.tx_id}", unblocked)
+
+    # -- commits --------------------------------------------------------------------
+
+    def _dependencies_committed(self, node: TxNode) -> bool:
+        return all(dep.status is NodeStatus.COMMITTED
+                   for dep in node.in_edges)
+
+    def _try_commit(self, node: TxNode, now: float) -> bool:
+        if node.status is not NodeStatus.FINISHED:
+            return False
+        if not self._dependencies_committed(node):
+            return False
+        node.status = NodeStatus.COMMITTED
+        node.order_index = self._order_counter
+        self._order_counter += 1
+        node.committed_at = now
+        self.stats.commits += 1
+        write_set = node.write_set()
+        self._overlay.update(write_set)
+        entry = CommittedTx(
+            tx_id=node.tx_id,
+            order_index=node.order_index,
+            read_set=node.read_set(),
+            write_set=write_set,
+            result=node.result,
+            attempts=node.attempt,
+        )
+        self._committed.append(entry)
+        if self._on_commit is not None:
+            self._on_commit(entry)
+        # R4: commit order fixes write-write order with still-live writers.
+        for key, record in node.records.items():
+            if not record.wrote:
+                continue
+            for writer in self.graph.writers_of(key):
+                if writer is node or not writer.alive:
+                    continue
+                if not self.graph.has_path(node, writer):
+                    self.graph.add_edge(node, writer, key,
+                                        EdgeKind.WRITE_WRITE)
+        if self._check_invariants and not self.graph.is_acyclic():
+            raise SerializationError(
+                f"cycle introduced by commit of {node.tx_id}")
+        # Commits may unblock dependants (Table 1 t7 -> t8).
+        for neighbor in list(node.out_edges):
+            if neighbor.status is NodeStatus.FINISHED:
+                self._try_commit(neighbor, now)
+        return True

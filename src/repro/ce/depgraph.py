@@ -1,0 +1,325 @@
+"""Dependency graph G(V, E) used by the concurrency controller (§8).
+
+Nodes are transaction *attempts*; a typed, key-labelled edge ``u -> v`` means
+*u must be serialized before v*.  Edge kinds record why:
+
+* ``rf``  — v read a value u wrote (read-from; aborts cascade along these),
+* ``ar``  — u read a version that v overwrites (anti-dependency: the reader
+  must precede the writer),
+* ``pin`` — u is a writer ordered before the writer whose value somebody
+  read (§8.2: "make all other write nodes contain a path to u"),
+* ``ww``  — commit-time write-write ordering.
+
+Per the paper, a node keeps at most two operation records per key — the
+first read and the last write (§8.1) — held here in :class:`KeyRecord`.
+
+This module is purely structural: it stores nodes/edges/indexes and answers
+reachability queries.  The *rules* that decide which edges to add live in
+:mod:`repro.ce.controller`.
+
+Determinism note: all collections that the controller iterates are dicts
+used as ordered sets, so runs are reproducible (plain ``set`` of objects
+would iterate in address order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SerializationError
+
+#: Sentinel for "no value recorded yet".
+_UNSET = object()
+
+
+class NodeStatus(Enum):
+    RUNNING = "running"      # executor still submitting operations
+    FINISHED = "finished"    # all operations done, awaiting commit
+    COMMITTED = "committed"  # execution order assigned, results final
+    ABORTED = "aborted"      # removed from the graph; will re-execute
+
+
+class EdgeKind(Enum):
+    READ_FROM = "rf"
+    ANTI = "ar"
+    PIN = "pin"
+    WRITE_WRITE = "ww"
+    #: Added when an aborted node is detached: each (predecessor,
+    #: successor) pair is bridged so orderings other transactions already
+    #: observed through the departed node keep holding.  Without this, a
+    #: rule that skipped adding an edge because a path existed would be
+    #: unsound once the path's middle node aborts.
+    BRIDGE = "bridge"
+
+
+@dataclass
+class KeyRecord:
+    """A node's compressed per-key history: first read + last write (§8.1)."""
+
+    first_read: Any = _UNSET
+    #: Node the first read obtained its value from; ``None`` means the root
+    #: (storage snapshot / committed overlay).
+    read_from: Optional["TxNode"] = None
+    wrote: bool = False
+    last_write: Any = None
+    #: Nodes that read *this* node's write on this key (rf dependants),
+    #: kept insertion-ordered for deterministic cascades.
+    readers: Dict["TxNode", None] = field(default_factory=dict)
+
+    @property
+    def has_read(self) -> bool:
+        return self.first_read is not _UNSET
+
+    def read_value(self) -> Any:
+        """The value a repeated read must return (§8.3): our own last write
+        if we wrote, else the recorded first read."""
+        if self.wrote:
+            return self.last_write
+        if self.first_read is _UNSET:
+            raise SerializationError("read_value() on a record with no read")
+        return self.first_read
+
+
+class TxNode:
+    """One attempt at executing one transaction."""
+
+    __slots__ = ("tx_id", "attempt", "status", "records", "out_edges",
+                 "in_edges", "order_index", "result", "started_at",
+                 "committed_at")
+
+    def __init__(self, tx_id: int, attempt: int, started_at: float = 0.0) -> None:
+        self.tx_id = tx_id
+        self.attempt = attempt
+        self.status = NodeStatus.RUNNING
+        self.records: Dict[str, KeyRecord] = {}
+        #: neighbor -> {(key, kind): None}; dicts keep insertion order.
+        self.out_edges: Dict["TxNode", Dict[Tuple[str, EdgeKind], None]] = {}
+        self.in_edges: Dict["TxNode", Dict[Tuple[str, EdgeKind], None]] = {}
+        self.order_index: Optional[int] = None
+        self.result: Any = None
+        self.started_at = started_at
+        self.committed_at: Optional[float] = None
+
+    # -- key-level classification (§8.1) -----------------------------------
+
+    def is_write_node(self, key: str) -> bool:
+        record = self.records.get(key)
+        return record is not None and record.wrote
+
+    def is_read_node(self, key: str) -> bool:
+        """First operation on ``key`` was a read (and nothing was written)."""
+        record = self.records.get(key)
+        return record is not None and record.has_read and not record.wrote
+
+    def has_any_write(self) -> bool:
+        return any(record.wrote for record in self.records.values())
+
+    @property
+    def alive(self) -> bool:
+        return self.status in (NodeStatus.RUNNING, NodeStatus.FINISHED)
+
+    def read_set(self) -> Dict[str, Any]:
+        """Keys first-read from outside the transaction, with values seen."""
+        return {key: record.first_read
+                for key, record in self.records.items() if record.has_read}
+
+    def write_set(self) -> Dict[str, Any]:
+        """Keys written, with the final values."""
+        return {key: record.last_write
+                for key, record in self.records.items() if record.wrote}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TxNode {self.tx_id}.{self.attempt} {self.status.value}>"
+
+
+class DependencyGraph:
+    """Stores nodes, typed edges, and per-key access indexes."""
+
+    def __init__(self) -> None:
+        #: Current attempt per transaction id.
+        self.nodes: Dict[int, TxNode] = {}
+        #: key -> writer nodes in first-write order (dict-as-ordered-set).
+        self._writers: Dict[str, Dict[TxNode, None]] = {}
+        #: key -> nodes holding a read record on the key.
+        self._readers: Dict[str, Dict[TxNode, None]] = {}
+
+    # -- node lifecycle ------------------------------------------------------
+
+    def add_node(self, node: TxNode) -> None:
+        existing = self.nodes.get(node.tx_id)
+        if existing is not None and existing.alive:
+            raise SerializationError(
+                f"transaction {node.tx_id} already has a live attempt")
+        self.nodes[node.tx_id] = node
+
+    def get(self, tx_id: int) -> Optional[TxNode]:
+        return self.nodes.get(tx_id)
+
+    def detach_node(self, node: TxNode) -> List[TxNode]:
+        """Remove an aborted node from edges and indexes.
+
+        Every (predecessor, successor) pair across the departing node is
+        bridged with a ``BRIDGE`` edge: the controller's rules skip adding
+        an ordering edge whenever a path already exists, so paths observed
+        through this node must survive its departure.  Bridging cannot
+        create cycles (the path existed) and never touches other aborted
+        nodes (their adjacency must stay empty).
+
+        Returns the former out-neighbours (the controller re-checks their
+        commit eligibility).  Read-from back-references are cleaned so the
+        source writers no longer consider this node a dependant.
+        """
+        for key, record in node.records.items():
+            if record.read_from is not None:
+                source = record.read_from.records.get(key)
+                if source is not None:
+                    source.readers.pop(node, None)
+            self._writers.get(key, {}).pop(node, None)
+            self._readers.get(key, {}).pop(node, None)
+        former_out = list(node.out_edges)
+        predecessors = [p for p in node.in_edges
+                        if p.status is not NodeStatus.ABORTED]
+        successors = [s for s in former_out
+                      if s.status is not NodeStatus.ABORTED]
+        for neighbor in former_out:
+            neighbor.in_edges.pop(node, None)
+        for neighbor in list(node.in_edges):
+            neighbor.out_edges.pop(node, None)
+        node.out_edges.clear()
+        node.in_edges.clear()
+        for predecessor in predecessors:
+            for successor in successors:
+                if predecessor is not successor:
+                    self.add_edge(predecessor, successor, "", EdgeKind.BRIDGE)
+        return former_out
+
+    # -- indexes -----------------------------------------------------------------
+
+    def register_writer(self, key: str, node: TxNode) -> None:
+        self._writers.setdefault(key, {})[node] = None
+
+    def register_reader(self, key: str, node: TxNode) -> None:
+        self._readers.setdefault(key, {})[node] = None
+
+    def writers_of(self, key: str) -> List[TxNode]:
+        """Live or committed writer nodes of ``key`` in first-write order."""
+        return [node for node in self._writers.get(key, {})
+                if node.status is not NodeStatus.ABORTED]
+
+    def readers_of(self, key: str) -> List[TxNode]:
+        """Nodes holding a read record on ``key`` (live or committed)."""
+        return [node for node in self._readers.get(key, {})
+                if node.status is not NodeStatus.ABORTED]
+
+    def latest_alive_writer(self, key: str) -> Optional[TxNode]:
+        """The most recent non-aborted writer of ``key``, if any."""
+        writers = self.writers_of(key)
+        return writers[-1] if writers else None
+
+    # -- edges ----------------------------------------------------------------
+
+    def add_edge(self, src: TxNode, dst: TxNode, key: str,
+                 kind: EdgeKind) -> None:
+        """Record ``src`` before ``dst``; self-edges are rejected, duplicate
+        labels are idempotent.  Callers must have done their cycle check."""
+        if src is dst:
+            raise SerializationError(
+                f"self-edge on {src.tx_id} (key {key}, {kind.value})")
+        src.out_edges.setdefault(dst, {})[(key, kind)] = None
+        dst.in_edges.setdefault(src, {})[(key, kind)] = None
+
+    def has_edge(self, src: TxNode, dst: TxNode) -> bool:
+        return dst in src.out_edges
+
+    def has_path(self, src: TxNode, dst: TxNode) -> bool:
+        """True iff ``dst`` is reachable from ``src`` (DFS over out-edges)."""
+        if src is dst:
+            return True
+        stack = [src]
+        seen = {id(src)}
+        while stack:
+            current = stack.pop()
+            for neighbor in current.out_edges:
+                if neighbor is dst:
+                    return True
+                if id(neighbor) not in seen:
+                    seen.add(id(neighbor))
+                    stack.append(neighbor)
+        return False
+
+    # -- whole-graph queries ---------------------------------------------------
+
+    def live_nodes(self) -> Iterator[TxNode]:
+        return (node for node in self.nodes.values() if node.alive)
+
+    def edge_count(self) -> int:
+        return sum(len(labels) for node in self.nodes.values()
+                   for labels in node.out_edges.values())
+
+    def is_acyclic(self) -> bool:
+        """Full-graph cycle check (used by tests and debug assertions)."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+        for root in self.nodes.values():
+            if color.get(id(root), WHITE) is not WHITE:
+                continue
+            stack: List[Tuple[TxNode, Iterator[TxNode]]] = [
+                (root, iter(root.out_edges))]
+            color[id(root)] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = color.get(id(child), WHITE)
+                    if state == GREY:
+                        return False
+                    if state == WHITE:
+                        color[id(child)] = GREY
+                        stack.append((child, iter(child.out_edges)))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[id(node)] = BLACK
+                    stack.pop()
+        return True
+
+    def topological_order(self) -> List[TxNode]:
+        """A deterministic topological order of all non-aborted nodes.
+
+        Ties are broken by (committed order, tx id) so the result is stable.
+        Raises :class:`SerializationError` if a cycle slipped in.
+        """
+        nodes = [node for node in self.nodes.values()
+                 if node.status is not NodeStatus.ABORTED]
+        indegree: Dict[int, int] = {}
+        by_id = {id(node): node for node in nodes}
+        for node in nodes:
+            indegree.setdefault(id(node), 0)
+            for neighbor in node.out_edges:
+                if id(neighbor) in by_id or neighbor in nodes:
+                    indegree[id(neighbor)] = indegree.get(id(neighbor), 0) + 1
+
+        def sort_key(node: TxNode) -> Tuple[int, int]:
+            order = node.order_index if node.order_index is not None else 1 << 60
+            return (order, node.tx_id)
+
+        ready = sorted((n for n in nodes if indegree[id(n)] == 0), key=sort_key)
+        result: List[TxNode] = []
+        while ready:
+            node = ready.pop(0)
+            result.append(node)
+            newly_ready = []
+            for neighbor in node.out_edges:
+                if id(neighbor) not in indegree:
+                    continue
+                indegree[id(neighbor)] -= 1
+                if indegree[id(neighbor)] == 0:
+                    newly_ready.append(neighbor)
+            if newly_ready:
+                ready.extend(newly_ready)
+                ready.sort(key=sort_key)
+        if len(result) != len(nodes):
+            raise SerializationError("dependency graph contains a cycle")
+        return result

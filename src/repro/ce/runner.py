@@ -1,0 +1,266 @@
+"""The Concurrent Executor: a pool of simulated executors driving the CC.
+
+Figure 7 of the paper: a set of executors execute transactions while the
+concurrency controller arranges them in a dependency graph.  Here each
+executor is a DES process; contract operations cost simulated compute time,
+and every controller access serializes through a capacity-1 resource with
+its own small cost — the central-controller bottleneck that shapes the
+Fig. 11 executor-scaling curves.
+
+Aborted transactions are re-executed: a running transaction retries in its
+own executor (after a short backoff); a transaction that had already entered
+finalization and is cascade-aborted later re-enters the work queue.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.ce.controller import CCStats, CommittedTx, ConcurrencyController
+from repro.contracts.contract import ContractRegistry
+from repro.contracts.ops import ReadOp, WriteOp
+from repro.errors import ConfigError, ContractError, SerializationError, \
+    TransactionAborted
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource, Store
+from repro.txn import Transaction
+
+
+@dataclass(frozen=True)
+class CEConfig:
+    """Timing and sizing of the executor pool.
+
+    The defaults are calibrated so a 16-executor pool over SmallBank lands
+    in the tens-of-kTPS range of Fig. 11 (simulated time); only ratios
+    matter for the reproduced shapes.
+    """
+
+    executors: int = 16
+    op_cost: float = 5e-6          # simulated compute per contract operation
+    cc_cost: float = 1.0e-6        # serialized controller access per op
+    restart_delay: float = 1e-5    # backoff before a re-execution
+    jitter: float = 0.10           # relative op-cost jitter (interleaving)
+    max_attempts: int = 1000       # livelock safety valve
+
+    def __post_init__(self) -> None:
+        if self.executors < 1:
+            raise ConfigError(f"executors must be >= 1: {self.executors}")
+        if self.op_cost < 0 or self.cc_cost < 0 or self.restart_delay < 0:
+            raise ConfigError("costs must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ConfigError(f"jitter must be in [0, 1): {self.jitter}")
+
+
+@dataclass
+class BatchResult:
+    """Everything a preplay run produces, plus the measurements Fig. 11
+    reports."""
+
+    committed: List[CommittedTx]
+    elapsed: float
+    started_at: float
+    finished_at: float
+    re_executions: int
+    latencies: Dict[int, float]
+    stats: CCStats
+
+    @property
+    def order(self) -> List[int]:
+        """The serialized execution order (tx ids)."""
+        return [entry.tx_id for entry in self.committed]
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return len(self.committed) / self.elapsed
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies.values()) / len(self.latencies)
+
+    @property
+    def re_executions_per_tx(self) -> float:
+        """Average number of re-executions per transaction (Fig. 11 right)."""
+        if not self.committed:
+            return 0.0
+        return self.re_executions / len(self.committed)
+
+    def final_writes(self) -> Dict[str, Any]:
+        """Last committed value per key (appliable to storage)."""
+        writes: Dict[str, Any] = {}
+        for entry in self.committed:
+            writes.update(entry.write_set)
+        return writes
+
+
+class CERunner:
+    """Runs batches of transactions through the Concurrent Executor."""
+
+    _SHUTDOWN = object()
+
+    def __init__(self, registry: ContractRegistry, config: CEConfig,
+                 rng: random.Random) -> None:
+        self.registry = registry
+        self.config = config
+        self._rng = rng
+
+    def run_batch(self, env: Environment, transactions: List[Transaction],
+                  base_state: Mapping[str, Any], default: Any = 0):
+        """Start the batch as a process; its value is a :class:`BatchResult`.
+
+        Usage from another process: ``result = yield runner.run_batch(...)``.
+        Standalone: ``proc = runner.run_batch(...); env.run(); proc.value``.
+        """
+        return env.process(self._run(env, list(transactions), base_state,
+                                     default))
+
+    # ------------------------------------------------------------ internals
+
+    def _run(self, env: Environment, transactions: List[Transaction],
+             base_state: Mapping[str, Any], default: Any):
+        if not transactions:
+            stats = CCStats()
+            return BatchResult(committed=[], elapsed=0.0, started_at=env.now,
+                               finished_at=env.now, re_executions=0,
+                               latencies={}, stats=stats)
+        state = _RunState(env=env, total=len(transactions))
+        queue: Store = Store(env)
+        by_id: Dict[int, Transaction] = {}
+        for tx in transactions:
+            if tx.tx_id in by_id:
+                raise SerializationError(
+                    f"duplicate tx id {tx.tx_id} in batch")
+            by_id[tx.tx_id] = tx
+            queue.put(tx)
+
+        def on_abort(tx_id: int) -> None:
+            # Cascade-aborted after finalization: nobody owns it; requeue.
+            if tx_id not in state.owned:
+                state.re_executions += 1
+                queue.put(by_id[tx_id])
+
+        def on_commit(entry: CommittedTx) -> None:
+            state.latencies[entry.tx_id] = env.now - state.first_start.get(
+                entry.tx_id, state.started_at)
+            if cc.committed_count() >= state.total and not state.done.triggered:
+                state.done.succeed()
+
+        cc = ConcurrencyController(base_state, default=default,
+                                   on_abort=on_abort, on_commit=on_commit)
+        state.cc = cc
+        self.last_state = state  # exposed for tests / debugging
+        cc_gate = Resource(env, capacity=1)
+        workers = min(self.config.executors, len(transactions))
+        for _ in range(workers):
+            env.process(self._worker(env, queue, cc, cc_gate, state))
+        state.started_at = env.now
+        yield state.done
+        return BatchResult(
+            committed=cc.committed,
+            elapsed=env.now - state.started_at,
+            started_at=state.started_at,
+            finished_at=env.now,
+            re_executions=state.re_executions,
+            latencies=dict(state.latencies),
+            stats=cc.stats,
+        )
+
+    def _worker(self, env: Environment, queue: Store,
+                cc: ConcurrencyController, cc_gate: Resource,
+                state: "_RunState"):
+        config = self.config
+        while not state.done.triggered:
+            item = yield queue.get()
+            if item is self._SHUTDOWN:  # pragma: no cover - defensive
+                return
+            tx: Transaction = item
+            body = self.registry.get(tx.contract)
+            attempt = 0
+            while True:
+                attempt += 1
+                if attempt > config.max_attempts:
+                    raise SerializationError(
+                        f"transaction {tx.tx_id} exceeded "
+                        f"{config.max_attempts} attempts (livelock?)")
+                state.owned.add(tx.tx_id)
+                state.first_start.setdefault(tx.tx_id, env.now)
+                node = cc.begin(tx.tx_id, now=env.now)
+                generator = body(*tx.args)
+                try:
+                    op = next(generator)
+                    while True:
+                        yield env.timeout(self._op_delay())
+                        request = cc_gate.request()
+                        yield request
+                        try:
+                            if config.cc_cost > 0:
+                                yield env.timeout(config.cc_cost)
+                            if isinstance(op, ReadOp):
+                                value = cc.read(node, op.key)
+                            elif isinstance(op, WriteOp):
+                                cc.write(node, op.key, op.value)
+                                value = None
+                            else:
+                                raise ContractError(
+                                    f"contract yielded non-operation {op!r}")
+                        finally:
+                            cc_gate.release(request)
+                        op = generator.send(value)
+                except StopIteration as stop:
+                    request = cc_gate.request()
+                    yield request
+                    aborted_at_finish = False
+                    try:
+                        cc.finish(node, result=stop.value, now=env.now)
+                    except TransactionAborted:
+                        aborted_at_finish = True
+                    finally:
+                        cc_gate.release(request)
+                    state.owned.discard(tx.tx_id)
+                    if aborted_at_finish:
+                        state.re_executions += 1
+                        yield env.timeout(self._backoff(attempt))
+                        continue
+                    break
+                except TransactionAborted:
+                    state.owned.discard(tx.tx_id)
+                    state.re_executions += 1
+                    yield env.timeout(self._backoff(attempt))
+                    continue
+
+    def _op_delay(self) -> float:
+        jitter = self.config.jitter
+        if jitter == 0:
+            return self.config.op_cost
+        factor = 1.0 + self._rng.uniform(-jitter, jitter)
+        return self.config.op_cost * factor
+
+    def _backoff(self, attempt: int) -> float:
+        base = self.config.restart_delay * min(attempt, 8)
+        if self.config.jitter == 0:
+            return base
+        return base * (1.0 + self._rng.random())
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping shared between the pool's processes."""
+
+    env: Environment
+    total: int
+    started_at: float = 0.0
+    re_executions: int = 0
+    owned: set = field(default_factory=set)
+    first_start: Dict[int, float] = field(default_factory=dict)
+    latencies: Dict[int, float] = field(default_factory=dict)
+    cc: Optional[ConcurrencyController] = None
+    done: Any = None
+
+    def __post_init__(self) -> None:
+        self.done = self.env.event()

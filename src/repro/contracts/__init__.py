@@ -1,0 +1,37 @@
+"""Smart-contract runtime: operation protocol, registry, SmallBank suite."""
+
+from repro.contracts.contract import (ContractBody, ContractRegistry,
+                                      ExecutionRecord, run_inline)
+from repro.contracts.ops import Operation, ReadOp, WriteOp, is_read, is_write
+from repro.contracts.smallbank import (ALL_CONTRACTS, AMALGAMATE,
+                                       DEPOSIT_CHECKING, GET_BALANCE,
+                                       SEND_PAYMENT, TRANSACT_SAVINGS,
+                                       WRITE_CHECK, account_of_key,
+                                       checking_key, default_registry,
+                                       initial_state, register_smallbank,
+                                       savings_key)
+
+__all__ = [
+    "ALL_CONTRACTS",
+    "AMALGAMATE",
+    "ContractBody",
+    "ContractRegistry",
+    "DEPOSIT_CHECKING",
+    "ExecutionRecord",
+    "GET_BALANCE",
+    "Operation",
+    "ReadOp",
+    "SEND_PAYMENT",
+    "TRANSACT_SAVINGS",
+    "WRITE_CHECK",
+    "WriteOp",
+    "account_of_key",
+    "checking_key",
+    "default_registry",
+    "initial_state",
+    "is_read",
+    "is_write",
+    "register_smallbank",
+    "run_inline",
+    "savings_key",
+]

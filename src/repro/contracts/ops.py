@@ -1,0 +1,40 @@
+"""Operation descriptors emitted by running contracts.
+
+The paper's data model (§3.1) has exactly two operation types,
+``<Read, K>`` and ``<Write, K, V>``.  Contracts *yield* these descriptors;
+the surrounding executor performs them against whatever concurrency layer is
+in force (CC dependency graph, OCC local buffer, 2PL lock table, or plain
+storage) and sends read results back into the contract generator.  This is
+what makes read/write sets observable only through execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read the current value of ``key``."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` to ``key``."""
+
+    key: str
+    value: Any
+
+
+Operation = Union[ReadOp, WriteOp]
+
+
+def is_read(op: Operation) -> bool:
+    return isinstance(op, ReadOp)
+
+
+def is_write(op: Operation) -> bool:
+    return isinstance(op, WriteOp)

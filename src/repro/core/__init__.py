@@ -1,0 +1,20 @@
+"""Thunderbolt core: sharding, proposal rules, cross-shard execution,
+validation, non-blocking reconfiguration, replicas and the cluster harness."""
+
+from repro.core.cluster import Cluster, ClusterResult, run_cluster
+from repro.core.config import ENGINES, ThunderboltConfig
+from repro.core.cross_shard import CrossShardExecutor, CrossShardOutcome
+from repro.core.replica import Replica
+from repro.core.shards import ShardMap
+
+__all__ = [
+    "Cluster",
+    "ClusterResult",
+    "CrossShardExecutor",
+    "CrossShardOutcome",
+    "ENGINES",
+    "Replica",
+    "ShardMap",
+    "ThunderboltConfig",
+    "run_cluster",
+]

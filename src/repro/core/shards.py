@@ -1,0 +1,61 @@
+"""Shard mapping and proposer assignment.
+
+Every key carries a predefined shard id (SID) known to all replicas (§3.1);
+SmallBank keys shard by account.  Each shard is served by exactly one
+*shard proposer*; the assignment rotates deterministically with the
+reconfiguration epoch — §6: if the proposer of shard X is replica ``R_i``,
+the next proposer is ``R_(i mod n)+1`` (i.e. the assignment shifts by one
+replica per epoch, as in Fig. 6's DAG 1 → DAG 2 transition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.contracts.smallbank import account_of_key
+from repro.errors import ConfigError
+
+
+class ShardMap:
+    """Key → SID and (shard, epoch) → proposer mapping for ``n`` shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ConfigError(f"need at least one shard: {n_shards}")
+        self.n_shards = n_shards
+
+    # -- data placement ------------------------------------------------------
+
+    def shard_of_account(self, account: int) -> int:
+        """SmallBank accounts are range-partitioned by modulo."""
+        return account % self.n_shards
+
+    def shard_of_key(self, key: str) -> int:
+        """SID of a storage key (both SmallBank key families shard by their
+        account)."""
+        return self.shard_of_account(account_of_key(key))
+
+    def shards_of_accounts(self, accounts: Iterable[int]) -> Tuple[int, ...]:
+        """Sorted distinct SIDs for a set of accounts (a transaction's
+        declared shard set)."""
+        return tuple(sorted({self.shard_of_account(a) for a in accounts}))
+
+    # -- proposer assignment -----------------------------------------------------
+
+    def proposer_of(self, shard: int, epoch: int) -> int:
+        """The replica serving ``shard`` during ``epoch``.
+
+        Epoch 0 assigns shard X to replica X; each reconfiguration advances
+        every shard to the next replica (round-robin, §6).
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ConfigError(f"shard {shard} out of range")
+        if epoch < 0:
+            raise ConfigError(f"negative epoch {epoch}")
+        return (shard + epoch) % self.n_shards
+
+    def shard_served_by(self, replica: int, epoch: int) -> int:
+        """Inverse of :meth:`proposer_of`."""
+        if not 0 <= replica < self.n_shards:
+            raise ConfigError(f"replica {replica} out of range")
+        return (replica - epoch) % self.n_shards

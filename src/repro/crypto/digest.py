@@ -1,0 +1,65 @@
+"""Deterministic content digests.
+
+Blocks, votes, and certificates are identified by digests of a canonical
+serialization.  We use BLAKE2b-128 from the standard library: fast, stable
+across runs, and collision-resistant far beyond what the simulation needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+DIGEST_BYTES = 16
+
+
+def digest_bytes(data: bytes) -> str:
+    """Hex digest of raw bytes."""
+    return hashlib.blake2b(data, digest_size=DIGEST_BYTES).hexdigest()
+
+
+def canonical_encode(value: Any) -> bytes:
+    """A canonical byte encoding for the plain-data values we hash.
+
+    Supports the JSON-ish subset used by protocol objects: ``None``, bools,
+    ints, floats, strings, bytes, and (nested) lists/tuples/dicts with
+    string-sortable keys.  Deterministic across runs and platforms.
+    """
+    parts: list[bytes] = []
+    _encode_into(value, parts)
+    return b"".join(parts)
+
+
+def _encode_into(value: Any, parts: list) -> None:
+    if value is None:
+        parts.append(b"N")
+    elif isinstance(value, bool):
+        parts.append(b"T" if value else b"F")
+    elif isinstance(value, int):
+        parts.append(b"I" + str(value).encode() + b";")
+    elif isinstance(value, float):
+        parts.append(b"D" + repr(value).encode() + b";")
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        parts.append(b"S" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(value, bytes):
+        parts.append(b"B" + str(len(value)).encode() + b":" + value)
+    elif isinstance(value, (list, tuple)):
+        parts.append(b"L" + str(len(value)).encode() + b"[")
+        for item in value:
+            _encode_into(item, parts)
+        parts.append(b"]")
+    elif isinstance(value, dict):
+        keys = sorted(value, key=str)
+        parts.append(b"M" + str(len(keys)).encode() + b"{")
+        for key in keys:
+            _encode_into(str(key), parts)
+            _encode_into(value[key], parts)
+        parts.append(b"}")
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def digest_of(value: Any) -> str:
+    """Digest of any canonically encodable value."""
+    return digest_bytes(canonical_encode(value))

@@ -1,0 +1,19 @@
+"""Certified-DAG consensus substrate (Narwhal/Tusk style)."""
+
+from repro.dag.leader import LeaderSchedule
+from repro.dag.store import DagStore
+from repro.dag.tusk import CommitEvent, TuskConsensus
+from repro.dag.types import (Block, BlockKind, PreplayEntry, Vertex,
+                             encode_transaction)
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "CommitEvent",
+    "DagStore",
+    "LeaderSchedule",
+    "PreplayEntry",
+    "TuskConsensus",
+    "Vertex",
+    "encode_transaction",
+]

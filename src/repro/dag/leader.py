@@ -1,0 +1,52 @@
+"""Deterministic leader schedule.
+
+Tusk designates a leader vertex every two rounds; the paper selects leaders
+round-robin (Fig. 4 "the leaders in the odd rounds are selected using
+round-robin selection").  The schedule is a pure function of
+(epoch, round), so every replica derives the same leaders with no
+communication — the property the P1–P6 rules and non-blocking
+reconfiguration lean on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConsensusError
+
+
+class LeaderSchedule:
+    """Round-robin leaders on odd rounds, rotated per epoch."""
+
+    def __init__(self, n: int, wave_length: int = 2) -> None:
+        if n < 1:
+            raise ConsensusError(f"need at least one replica: {n}")
+        if wave_length < 2:
+            raise ConsensusError(f"wave length must be >= 2: {wave_length}")
+        self.n = n
+        self.wave_length = wave_length
+
+    def is_leader_round(self, round_number: int) -> bool:
+        """Leader rounds are the odd rounds (1, 3, 5, ... for waves of 2)."""
+        return round_number % self.wave_length == 1
+
+    def leader_of(self, epoch: int, round_number: int) -> int:
+        """The replica whose vertex anchors ``round_number``.
+
+        Only defined for leader rounds.  The epoch offset rotates the
+        starting leader so reconfigured DAGs do not favour one replica.
+        """
+        if not self.is_leader_round(round_number):
+            raise ConsensusError(f"round {round_number} has no leader")
+        wave = round_number // self.wave_length
+        return (wave + epoch) % self.n
+
+    def commit_round(self, leader_round: int) -> int:
+        """The round during which this leader becomes committable (r + 2
+        in Tusk: after 2f+1 vertices of round r+1 arrive)."""
+        return leader_round + self.wave_length
+
+    def next_leader_round(self, round_number: int) -> int:
+        """The first leader round >= ``round_number``."""
+        candidate = round_number
+        while not self.is_leader_round(candidate):
+            candidate += 1
+        return candidate

@@ -1,0 +1,117 @@
+"""The Tusk commit rule (§2).
+
+A leader vertex of round ``r`` commits during round ``r + 2`` once
+
+1. the replica holds at least ``2f + 1`` vertices of round ``r + 1``, and
+2. the leader vertex is referenced by at least ``f + 1`` of them.
+
+Committing a leader commits its entire uncommitted causal history.  Leaders
+that missed their support window are *not* lost: when a later leader
+commits, any earlier leader vertex found in its causal history is ordered
+(and committed) first, which is how all honest replicas converge on one
+total order even when their interim views differed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.crypto.certificates import quorum_size, weak_quorum_size
+from repro.dag.leader import LeaderSchedule
+from repro.dag.store import DagStore
+from repro.dag.types import Vertex
+from repro.errors import ConsensusError
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """One committed leader and the blocks its commit delivers, in order."""
+
+    epoch: int
+    leader_round: int
+    leader: Vertex
+    #: Every newly committed vertex in deterministic total order (ascending
+    #: round, then author), ending with the leader itself.
+    delivered: List[Vertex]
+
+
+class TuskConsensus:
+    """Per-replica commit state machine over one epoch's DAG."""
+
+    def __init__(self, n: int, epoch: int,
+                 schedule: Optional[LeaderSchedule] = None) -> None:
+        self.n = n
+        self.epoch = epoch
+        self.schedule = schedule or LeaderSchedule(n)
+        self._committed_digests: Set[str] = set()
+        self._next_candidate = self.schedule.next_leader_round(1)
+        self.commits: List[CommitEvent] = []
+
+    @property
+    def committed_digests(self) -> Set[str]:
+        return set(self._committed_digests)
+
+    def is_committed(self, digest: str) -> bool:
+        return digest in self._committed_digests
+
+    def advance(self, store: DagStore) -> List[CommitEvent]:
+        """Scan for newly committable leaders; returns new commit events."""
+        if store.epoch != self.epoch:
+            raise ConsensusError(
+                f"consensus epoch {self.epoch} fed store epoch {store.epoch}")
+        events: List[CommitEvent] = []
+        while True:
+            leader_round = self._next_candidate
+            support_round = leader_round + 1
+            if store.round_size(support_round) < quorum_size(self.n):
+                break  # cannot decide this wave yet
+            leader_id = self.schedule.leader_of(self.epoch, leader_round)
+            leader_vertex = store.vertex_of(leader_round, leader_id)
+            committable = (
+                leader_vertex is not None
+                and store.support(leader_vertex.digest, support_round)
+                >= weak_quorum_size(self.n))
+            if committable:
+                events.extend(self._commit_chain(store, leader_vertex,
+                                                 leader_round))
+            # Either way this wave is decided locally; move to the next.
+            self._next_candidate = self.schedule.next_leader_round(
+                leader_round + self.schedule.wave_length)
+        self.commits.extend(events)
+        return events
+
+    # ------------------------------------------------------------ internals
+
+    def _commit_chain(self, store: DagStore, anchor: Vertex,
+                      anchor_round: int) -> List[CommitEvent]:
+        """Commit ``anchor`` plus any earlier uncommitted leaders found in
+        its causal history, oldest first."""
+        history_digests = {v.digest
+                           for v in store.causal_history(anchor.digest)}
+        chain: List[Vertex] = []
+        round_cursor = self.schedule.next_leader_round(1)
+        while round_cursor < anchor_round:
+            leader_id = self.schedule.leader_of(self.epoch, round_cursor)
+            candidate = store.vertex_of(round_cursor, leader_id)
+            if (candidate is not None
+                    and candidate.digest in history_digests
+                    and candidate.digest not in self._committed_digests):
+                chain.append(candidate)
+            round_cursor += self.schedule.wave_length
+        chain.append(anchor)
+        events: List[CommitEvent] = []
+        for leader_vertex in chain:
+            delivered = [
+                vertex for vertex
+                in store.causal_history(leader_vertex.digest,
+                                        stop=self._committed_digests)
+            ]
+            self._committed_digests.update(v.digest for v in delivered)
+            events.append(CommitEvent(
+                epoch=self.epoch,
+                leader_round=leader_vertex.round_number,
+                leader=leader_vertex,
+                delivered=delivered,
+            ))
+        return events

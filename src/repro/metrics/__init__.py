@@ -1,0 +1,7 @@
+"""Measurement collection and reporting."""
+
+from repro.metrics.collector import ExecutionSample, MetricsCollector
+from repro.metrics.report import format_series, format_table
+
+__all__ = ["ExecutionSample", "MetricsCollector", "format_series",
+           "format_table"]

@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.environment.Environment` — the simulation kernel.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Process`,
+  :class:`~repro.sim.events.Interrupt` — event primitives.
+* :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`
+  — shared-resource models.
+* :class:`~repro.sim.network.Network`, :class:`~repro.sim.network.LatencyModel`
+  — the simulated replica network.
+* :class:`~repro.sim.rng.ZipfGenerator` and seeding helpers.
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from repro.sim.network import (LatencyModel, Message, Network, drop_from,
+                               drop_kind_from)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import ZipfGenerator, derive_rng, make_rng, weighted_choice
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+    "ZipfGenerator",
+    "derive_rng",
+    "drop_from",
+    "drop_kind_from",
+    "make_rng",
+    "weighted_choice",
+]

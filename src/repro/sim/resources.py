@@ -1,0 +1,126 @@
+"""Shared-resource primitives built on the DES kernel.
+
+Two primitives cover everything the Thunderbolt stack needs:
+
+* :class:`Resource` — a counted semaphore used to model executor pools and
+  validator pools (capacity = number of parallel workers).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``; used as
+  the inbox of every replica and as the hand-off queue between pipeline
+  stages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.errors import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """Event granted when the resource has a free slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._on_request(self)
+
+
+class Resource:
+    """A counted semaphore with FIFO granting.
+
+    Usage::
+
+        req = pool.request()
+        yield req
+        try:
+            ...  # hold a worker slot
+        finally:
+            pool.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        self._granted: set[int] = set()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; yield the returned event to wait for the grant."""
+        return Request(self)
+
+    def _on_request(self, request: Request) -> None:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted.add(id(request))
+            request.succeed(self)
+        else:
+            self._waiting.append(request)
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request``."""
+        if id(request) not in self._granted:
+            raise SimulationError("release() of a request that was not granted")
+        self._granted.discard(id(request))
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            self._in_use += 1
+            self._granted.add(id(nxt))
+            nxt.succeed(self)
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the next
+    item; pending getters are served in FIFO order.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[Any]:
+        """A snapshot copy of the queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Pop an item immediately or return ``None`` if empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,90 @@
+"""Seeded randomness helpers.
+
+All stochastic behaviour in the library flows from instances created here so
+that an experiment seed fully determines the run.  The Zipfian sampler is the
+one used by the SmallBank workload (the paper selects accounts with skew
+``theta``); it follows the classic Gray et al. / YCSB construction.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+
+def make_rng(seed: int) -> random.Random:
+    """A dedicated :class:`random.Random` for one component."""
+    return random.Random(seed)
+
+
+def derive_rng(rng: random.Random, salt: int) -> random.Random:
+    """Deterministically fork a child RNG (e.g. one per replica)."""
+    return random.Random((rng.getrandbits(48) << 16) ^ salt)
+
+
+class ZipfGenerator:
+    """Samples integers in ``[0, n)`` with Zipfian skew ``theta``.
+
+    ``theta = 0`` degenerates to uniform; the paper's high-contention setting
+    is ``theta = 0.85``.  Item 0 is the most popular.  The cumulative
+    distribution is precomputed once, so sampling is ``O(log n)``.
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ConfigError(f"Zipf population must be >= 1: {n}")
+        if theta < 0:
+            raise ConfigError(f"Zipf theta must be >= 0: {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        weights = [1.0 / (rank ** theta) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float round-off
+        self._cdf = cumulative
+
+    def sample(self) -> int:
+        """One Zipf-distributed index in ``[0, n)``."""
+        u = self._rng.random()
+        return bisect_right(self._cdf, u)
+
+    def sample_distinct(self, count: int) -> List[int]:
+        """``count`` distinct indices (rejection sampling).
+
+        Used to pick the two accounts of a SmallBank ``SendPayment``.
+        """
+        if count > self.n:
+            raise ConfigError(
+                f"cannot draw {count} distinct items from population {self.n}")
+        seen: List[int] = []
+        chosen = set()
+        while len(seen) < count:
+            item = self.sample()
+            if item not in chosen:
+                chosen.add(item)
+                seen.append(item)
+        return seen
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick one of ``items`` proportionally to ``weights``."""
+    if len(items) != len(weights):
+        raise ConfigError("items and weights must have equal length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ConfigError("weights must sum to a positive value")
+    u = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if u <= acc:
+            return item
+    return items[-1]

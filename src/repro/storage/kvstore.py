@@ -1,0 +1,115 @@
+"""Versioned in-memory key-value store.
+
+Plays the role LevelDB plays in the paper's evaluation: the durable balance
+store each replica applies committed results to.  Every key carries a
+monotonically increasing version, which is exactly what the OCC baseline's
+central verifier checks (§11.1), and snapshots give validators a stable view
+to re-execute against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A value together with the version at which it was written."""
+
+    value: Any
+    version: int
+
+
+class KVStore:
+    """A LevelDB-flavoured store: get / put / delete / scan / snapshot.
+
+    Versions start at 1 on first write and bump on every overwrite.  Reads of
+    missing keys return ``default`` rather than raising — contract code
+    treats missing balances as zero-initialised state.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+        self.writes_applied = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # -- point operations ---------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Current value for ``key`` or ``default``."""
+        entry = self._data.get(key)
+        return default if entry is None else entry.value
+
+    def get_versioned(self, key: str) -> Optional[VersionedValue]:
+        """Value with version metadata, or ``None`` if absent."""
+        return self._data.get(key)
+
+    def version(self, key: str) -> int:
+        """Current version of ``key`` (0 if never written)."""
+        entry = self._data.get(key)
+        return 0 if entry is None else entry.version
+
+    def put(self, key: str, value: Any) -> int:
+        """Write ``value``; returns the new version."""
+        if not isinstance(key, str):
+            raise StorageError(f"keys must be strings, got {type(key).__name__}")
+        old = self._data.get(key)
+        new_version = 1 if old is None else old.version + 1
+        self._data[key] = VersionedValue(value=value, version=new_version)
+        self.writes_applied += 1
+        return new_version
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present (idempotent)."""
+        self._data.pop(key, None)
+
+    # -- bulk operations ------------------------------------------------------
+
+    def apply_batch(self, writes: Dict[str, Any]) -> None:
+        """Apply a write set atomically (deterministic key order)."""
+        for key in sorted(writes):
+            self.put(key, writes[key])
+
+    def scan(self, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs with ``prefix`` in sorted key order."""
+        for key in sorted(self._data):
+            if key.startswith(prefix):
+                yield key, self._data[key].value
+
+    def snapshot(self) -> "Snapshot":
+        """An immutable point-in-time view (copy-on-write by copying the
+        dict of immutable entries — entries themselves are frozen)."""
+        return Snapshot(dict(self._data))
+
+    def checksum(self) -> str:
+        """A digest of the full state — used by tests to assert that all
+        honest replicas converge to identical state."""
+        from repro.crypto.digest import digest_of
+        return digest_of({k: [v.value, v.version]
+                          for k, v in self._data.items()})
+
+
+class Snapshot:
+    """Read-only view of a store at a point in time."""
+
+    def __init__(self, data: Dict[str, VersionedValue]) -> None:
+        self._data = data
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entry = self._data.get(key)
+        return default if entry is None else entry.value
+
+    def version(self, key: str) -> int:
+        entry = self._data.get(key)
+        return 0 if entry is None else entry.version

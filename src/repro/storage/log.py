@@ -1,0 +1,75 @@
+"""Commit log.
+
+Each replica appends every committed block here, giving the total order the
+safety arguments (and tests) inspect: two honest replicas must produce
+prefix-consistent logs of (epoch, round, block digest) entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed block in the replica's total order."""
+
+    sequence: int
+    epoch: int
+    round_number: int
+    digest: str
+    committed_at: float
+    payload: Any = None
+
+
+class CommitLog:
+    """Append-only log of committed blocks."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self._digests: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> LogEntry:
+        return self._entries[index]
+
+    def append(self, epoch: int, round_number: int, digest: str,
+               committed_at: float, payload: Any = None) -> LogEntry:
+        """Append the next committed block; duplicate digests are rejected
+        (a block commits exactly once)."""
+        if digest in self._digests:
+            raise StorageError(f"block {digest[:8]} committed twice")
+        entry = LogEntry(sequence=len(self._entries), epoch=epoch,
+                         round_number=round_number, digest=digest,
+                         committed_at=committed_at, payload=payload)
+        self._entries.append(entry)
+        self._digests.add(digest)
+        return entry
+
+    def contains(self, digest: str) -> bool:
+        return digest in self._digests
+
+    def digests(self) -> List[str]:
+        """Digests in commit order."""
+        return [entry.digest for entry in self._entries]
+
+    def last(self) -> Optional[LogEntry]:
+        return self._entries[-1] if self._entries else None
+
+
+def prefix_consistent(log_a: CommitLog, log_b: CommitLog) -> bool:
+    """True iff one log's digest sequence is a prefix of the other's.
+
+    This is the safety relation between any two honest replicas.
+    """
+    a, b = log_a.digests(), log_b.digests()
+    shorter = min(len(a), len(b))
+    return a[:shorter] == b[:shorter]

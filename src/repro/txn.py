@@ -1,0 +1,60 @@
+"""Transactions.
+
+A transaction invokes one contract with concrete arguments.  Clients tag it
+with the shard ids (SIDs) its accounts map to — the only sharding metadata
+the system gets ahead of execution (§3.1: keys carry predefined SIDs; the
+read/write *sets* remain unknown until execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Tuple
+
+
+class TxKind(Enum):
+    """Whether the transaction touches one shard or several.
+
+    A ``SINGLE`` transaction may still be *converted* to cross-shard handling
+    by proposal rules P3/P4/P6 — that is a property of how it is proposed,
+    recorded on the block, not a mutation of the transaction itself.
+    """
+
+    SINGLE = "single"
+    CROSS = "cross"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable client request.
+
+    ``shard_ids`` is the sorted tuple of SIDs of every account the client
+    *addresses* (not the full key set — that emerges at execution time).
+    """
+
+    tx_id: int
+    contract: str
+    args: Tuple[Any, ...]
+    shard_ids: Tuple[int, ...]
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.shard_ids:
+            raise ValueError(f"transaction {self.tx_id} has no shard ids")
+        ordered = tuple(sorted(set(self.shard_ids)))
+        object.__setattr__(self, "shard_ids", ordered)
+
+    @property
+    def kind(self) -> TxKind:
+        return TxKind.SINGLE if len(self.shard_ids) == 1 else TxKind.CROSS
+
+    @property
+    def home_shard(self) -> int:
+        """The shard a single-shard transaction belongs to (lowest SID for
+        cross-shard ones, used only for routing the submission)."""
+        return self.shard_ids[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tx({self.tx_id}, {self.contract.split('.')[-1]}, "
+                f"shards={list(self.shard_ids)})")

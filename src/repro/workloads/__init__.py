@@ -1,0 +1,17 @@
+"""Workload generators: SmallBank (the paper's suite) and YCSB-style."""
+
+from repro.workloads.smallbank_workload import (SmallBankWorkload,
+                                                WorkloadConfig)
+from repro.workloads.ycsb import (YCSB_READ, YCSB_RMW, YCSB_UPDATE,
+                                  YCSBConfig, YCSBWorkload, register_ycsb)
+
+__all__ = [
+    "SmallBankWorkload",
+    "WorkloadConfig",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "YCSB_READ",
+    "YCSB_RMW",
+    "YCSB_UPDATE",
+    "register_ycsb",
+]

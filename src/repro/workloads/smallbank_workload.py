@@ -1,0 +1,188 @@
+"""SmallBank workload generation (§11.2, §12).
+
+The paper's experiments draw transactions as:
+
+* ``GetBalance`` with probability ``Pr`` (read-only), otherwise
+  ``SendPayment`` (read-write) — the knob of Fig. 12(c,d);
+* accounts chosen with Zipfian skew ``theta`` (Fig. 12(a,b); 0.85 is the
+  high-contention default);
+* a fraction ``cross_shard_ratio`` of transactions spans two shards
+  (Fig. 14/17) — both accounts are then forced into *different* shards.
+
+``extended_mix=True`` additionally samples the other four SmallBank types,
+exercising the full suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterator, List, Optional
+
+from repro.contracts import smallbank
+from repro.core.shards import ShardMap
+from repro.errors import ConfigError
+from repro.sim.rng import ZipfGenerator, weighted_choice
+from repro.txn import Transaction
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one SmallBank workload stream."""
+
+    accounts: int = 1000
+    read_probability: float = 0.5     # Pr
+    theta: float = 0.85               # Zipf skew
+    cross_shard_ratio: float = 0.0    # P (fraction in [0, 1])
+    payment_max: int = 50
+    extended_mix: bool = False
+
+    def __post_init__(self) -> None:
+        if self.accounts < 2:
+            raise ConfigError(f"need >= 2 accounts: {self.accounts}")
+        if not 0 <= self.read_probability <= 1:
+            raise ConfigError(f"Pr must be in [0, 1]: {self.read_probability}")
+        if not 0 <= self.cross_shard_ratio <= 1:
+            raise ConfigError(
+                f"cross-shard ratio must be in [0, 1]: "
+                f"{self.cross_shard_ratio}")
+        if self.payment_max < 1:
+            raise ConfigError(f"payment_max must be >= 1: {self.payment_max}")
+
+
+class SmallBankWorkload:
+    """A deterministic, seedable stream of SmallBank transactions.
+
+    Two modes:
+
+    * **global** (``shard=None``) — accounts are drawn from the whole pool;
+      used by the CE micro-benchmarks (Figs. 11/12), where sharding plays
+      no role.
+    * **per-shard** (``shard`` set) — the stream belongs to one shard's
+    clients: single-shard transactions draw from the shard's account
+      subspace (account ids congruent to the shard, mirroring the modulo
+      placement of :class:`~repro.core.shards.ShardMap`), and cross-shard
+      transactions pick the partner account from another shard.  Cluster
+      experiments (Figs. 13–17) give each proposer one such stream.
+    """
+
+    def __init__(self, config: WorkloadConfig, shard_map: ShardMap,
+                 seed: int, start_tx_id: int = 0,
+                 shard: Optional[int] = None,
+                 tx_id_stride: int = 1) -> None:
+        self.config = config
+        self.shard_map = shard_map
+        self.shard = shard
+        self._rng = random.Random(seed)
+        self._ids = count(start_tx_id, tx_id_stride)
+        n = shard_map.n_shards
+        if shard is None:
+            self._local_count = config.accounts
+        else:
+            if not 0 <= shard < n:
+                raise ConfigError(f"shard {shard} out of range")
+            self._local_count = len(range(shard, config.accounts, n))
+            if self._local_count < 2:
+                raise ConfigError(
+                    f"shard {shard} holds fewer than 2 of the "
+                    f"{config.accounts} accounts")
+        self._zipf = ZipfGenerator(self._local_count, config.theta, self._rng)
+
+    # -- account selection ------------------------------------------------------
+
+    def _local_account(self, index: int, shard: Optional[int] = None) -> int:
+        """Map a Zipf index into the account space (shard subspace when the
+        stream is shard-local)."""
+        target = self.shard if shard is None else shard
+        if target is None:
+            return index
+        return target + index * self.shard_map.n_shards
+
+    def _pick_account(self) -> int:
+        return self._local_account(self._zipf.sample())
+
+    def _pick_pair(self, cross_shard: bool) -> tuple:
+        """Two distinct accounts; cross-shard pairs span two shards."""
+        if self.shard is not None:
+            a = self._local_account(self._zipf.sample())
+            if cross_shard and self.shard_map.n_shards > 1:
+                others = [s for s in range(self.shard_map.n_shards)
+                          if s != self.shard]
+                partner_shard = self._rng.choice(others)
+                partner_count = len(range(partner_shard,
+                                          self.config.accounts,
+                                          self.shard_map.n_shards))
+                index = self._zipf.sample() % max(1, partner_count)
+                return a, self._local_account(index, partner_shard)
+            b = a
+            while b == a:
+                b = self._local_account(self._zipf.sample())
+            return a, b
+        want_diff = cross_shard and self.shard_map.n_shards > 1
+        for _ in range(10_000):
+            a, b = (self._local_account(i)
+                    for i in self._zipf.sample_distinct(2))
+            same = (self.shard_map.shard_of_account(a)
+                    == self.shard_map.shard_of_account(b))
+            if want_diff != same:
+                return a, b
+        raise ConfigError(
+            "could not sample an account pair with the requested shard "
+            "placement; increase the account pool")
+
+    # -- generation --------------------------------------------------------------
+
+    def next_transaction(self, now: float = 0.0) -> Transaction:
+        """Generate the next transaction of the stream."""
+        config = self.config
+        cross = (self._rng.random() < config.cross_shard_ratio)
+        if config.extended_mix:
+            return self._extended(cross, now)
+        if not cross and self._rng.random() < config.read_probability:
+            account = self._pick_account()
+            return self._make(smallbank.GET_BALANCE, (account,),
+                              (account,), now)
+        a, b = self._pick_pair(cross)
+        amount = self._rng.randint(1, config.payment_max)
+        return self._make(smallbank.SEND_PAYMENT, (a, b, amount),
+                          (a, b), now)
+
+    def batch(self, size: int, now: float = 0.0) -> List[Transaction]:
+        """``size`` fresh transactions."""
+        return [self.next_transaction(now) for _ in range(size)]
+
+    def stream(self) -> Iterator[Transaction]:
+        """An endless transaction iterator (zero timestamps)."""
+        while True:
+            yield self.next_transaction()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _extended(self, cross: bool, now: float) -> Transaction:
+        """Sample from all six SmallBank types (weights follow the classic
+        benchmark: 25% balance queries, 15% each for the five updates)."""
+        config = self.config
+        kind = weighted_choice(
+            self._rng,
+            [smallbank.GET_BALANCE, smallbank.SEND_PAYMENT,
+             smallbank.DEPOSIT_CHECKING, smallbank.TRANSACT_SAVINGS,
+             smallbank.WRITE_CHECK, smallbank.AMALGAMATE],
+            [25, 15, 15, 15, 15, 15])
+        if kind in (smallbank.SEND_PAYMENT, smallbank.AMALGAMATE):
+            a, b = self._pick_pair(cross)
+            args = (a, b, self._rng.randint(1, config.payment_max)) \
+                if kind == smallbank.SEND_PAYMENT else (a, b)
+            return self._make(kind, args, (a, b), now)
+        account = self._pick_account()
+        if kind == smallbank.GET_BALANCE:
+            args = (account,)
+        else:
+            args = (account, self._rng.randint(1, config.payment_max))
+        return self._make(kind, args, (account,), now)
+
+    def _make(self, contract: str, args: tuple, accounts: tuple,
+              now: float) -> Transaction:
+        shard_ids = self.shard_map.shards_of_accounts(accounts)
+        return Transaction(tx_id=next(self._ids), contract=contract,
+                           args=args, shard_ids=shard_ids, submitted_at=now)

@@ -1,0 +1,182 @@
+"""A YCSB-flavoured key-value workload.
+
+The paper evaluates on SmallBank, but DAG-BFT execution papers (and the
+systems Thunderbolt compares against) routinely use YCSB-style
+read/update/read-modify-write mixes.  This generator produces such
+transactions over the same sharded key space, so every engine and the full
+cluster can run them unchanged — useful for sensitivity studies beyond the
+paper's figures.
+
+Operation mix follows the classic workload letters:
+
+* ``YCSBConfig.workload_a()`` — 50% reads / 50% updates,
+* ``YCSBConfig.workload_b()`` — 95% reads / 5% updates,
+* ``YCSBConfig.workload_f()`` — 50% reads / 50% read-modify-writes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.contracts.contract import ContractRegistry
+from repro.contracts.ops import Operation, ReadOp, WriteOp
+from repro.core.shards import ShardMap
+from repro.errors import ConfigError
+from repro.sim.rng import ZipfGenerator
+from repro.txn import Transaction
+
+#: Contract names installed by :func:`register_ycsb`.
+YCSB_READ = "ycsb.read"
+YCSB_UPDATE = "ycsb.update"
+YCSB_RMW = "ycsb.read_modify_write"
+
+
+def record_key(record: int) -> str:
+    """Storage key of a YCSB record (sharded by record id, like accounts)."""
+    return f"ycsb:{record}"
+
+
+def ycsb_read(*records: int) -> Generator[Operation, Any, Dict[str, Any]]:
+    """Read one or more records."""
+    values = {}
+    for record in records:
+        values[record] = yield ReadOp(record_key(record))
+    return {"ok": True, "values": values}
+
+
+def ycsb_update(record: int, value: int
+                ) -> Generator[Operation, Any, Dict[str, Any]]:
+    """Blind write of one record."""
+    yield WriteOp(record_key(record), value)
+    return {"ok": True}
+
+
+def ycsb_read_modify_write(record: int, delta: int
+                           ) -> Generator[Operation, Any, Dict[str, Any]]:
+    """Classic RMW: read, transform, write back."""
+    value = yield ReadOp(record_key(record))
+    yield WriteOp(record_key(record), value + delta)
+    return {"ok": True, "new": value + delta}
+
+
+def register_ycsb(registry: ContractRegistry) -> None:
+    """Install the YCSB contracts into ``registry``."""
+    registry.register(YCSB_READ, ycsb_read)
+    registry.register(YCSB_UPDATE, ycsb_update)
+    registry.register(YCSB_RMW, ycsb_read_modify_write)
+
+
+def initial_state(records: int, value: int = 0) -> Dict[str, int]:
+    """Seed values for ``records`` YCSB records."""
+    return {record_key(record): value for record in range(records)}
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """Mix and skew of one YCSB stream (fractions must sum to <= 1; the
+    remainder becomes read-modify-writes)."""
+
+    records: int = 1000
+    read_fraction: float = 0.5
+    update_fraction: float = 0.5
+    theta: float = 0.85
+    cross_shard_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.records < 2:
+            raise ConfigError(f"need >= 2 records: {self.records}")
+        if self.read_fraction < 0 or self.update_fraction < 0:
+            raise ConfigError("fractions must be non-negative")
+        if self.read_fraction + self.update_fraction > 1.0 + 1e-9:
+            raise ConfigError("read + update fractions exceed 1")
+        if not 0 <= self.cross_shard_ratio <= 1:
+            raise ConfigError("cross-shard ratio must be in [0, 1]")
+
+    @property
+    def rmw_fraction(self) -> float:
+        return max(0.0, 1.0 - self.read_fraction - self.update_fraction)
+
+    @classmethod
+    def workload_a(cls, **kwargs) -> "YCSBConfig":
+        return cls(read_fraction=0.5, update_fraction=0.5, **kwargs)
+
+    @classmethod
+    def workload_b(cls, **kwargs) -> "YCSBConfig":
+        return cls(read_fraction=0.95, update_fraction=0.05, **kwargs)
+
+    @classmethod
+    def workload_f(cls, **kwargs) -> "YCSBConfig":
+        return cls(read_fraction=0.5, update_fraction=0.0, **kwargs)
+
+
+class YCSBWorkload:
+    """A deterministic YCSB transaction stream (global or per-shard)."""
+
+    def __init__(self, config: YCSBConfig, shard_map: ShardMap, seed: int,
+                 start_tx_id: int = 0, shard: Optional[int] = None,
+                 tx_id_stride: int = 1) -> None:
+        self.config = config
+        self.shard_map = shard_map
+        self.shard = shard
+        self._rng = random.Random(seed)
+        self._ids = count(start_tx_id, tx_id_stride)
+        n = shard_map.n_shards
+        if shard is None:
+            self._local_count = config.records
+        else:
+            if not 0 <= shard < n:
+                raise ConfigError(f"shard {shard} out of range")
+            self._local_count = len(range(shard, config.records, n))
+            if self._local_count < 1:
+                raise ConfigError(f"shard {shard} holds no records")
+        self._zipf = ZipfGenerator(self._local_count, config.theta,
+                                   self._rng)
+
+    def _record(self, shard: Optional[int] = None) -> int:
+        target = self.shard if shard is None else shard
+        index = self._zipf.sample()
+        if target is None:
+            return index
+        count_in_shard = len(range(target, self.config.records,
+                                   self.shard_map.n_shards))
+        index %= max(1, count_in_shard)
+        return target + index * self.shard_map.n_shards
+
+    def next_transaction(self, now: float = 0.0) -> Transaction:
+        config = self.config
+        u = self._rng.random()
+        cross = (self._rng.random() < config.cross_shard_ratio
+                 and self.shard_map.n_shards > 1)
+        if u < config.read_fraction and cross:
+            # a cross-shard read scans a record from another shard too
+            other_shard = self._other_shard()
+            a, b = self._record(), self._record(other_shard)
+            return self._make(YCSB_READ, (a, b), (a, b), now)
+        if u < config.read_fraction:
+            record = self._record()
+            return self._make(YCSB_READ, (record,), (record,), now)
+        if u < config.read_fraction + config.update_fraction:
+            record = self._record()
+            return self._make(YCSB_UPDATE,
+                              (record, self._rng.randrange(1_000_000)),
+                              (record,), now)
+        record = self._record()
+        return self._make(YCSB_RMW, (record, self._rng.randint(1, 100)),
+                          (record,), now)
+
+    def batch(self, size: int, now: float = 0.0) -> List[Transaction]:
+        return [self.next_transaction(now) for _ in range(size)]
+
+    def _other_shard(self) -> int:
+        choices = [s for s in range(self.shard_map.n_shards)
+                   if s != (self.shard or 0)]
+        return self._rng.choice(choices)
+
+    def _make(self, contract: str, args: tuple, records: tuple,
+              now: float) -> Transaction:
+        shard_ids = self.shard_map.shards_of_accounts(records)
+        return Transaction(tx_id=next(self._ids), contract=contract,
+                           args=args, shard_ids=shard_ids, submitted_at=now)

@@ -1,0 +1,66 @@
+"""Tests for fault/attack injection."""
+
+from repro.adversary import Censorship, install_proposal_delay, \
+    schedule_crashes
+from repro.core import ThunderboltConfig
+from repro.workloads import WorkloadConfig
+
+from tests.conftest import make_cluster
+
+
+def test_schedule_crashes_stops_replica():
+    cluster = make_cluster()
+    schedule_crashes(cluster, [1], at=0.1)
+    cluster.run(0.3)
+    assert cluster.replicas[1].crashed
+    assert not cluster.replicas[0].crashed
+
+
+def test_censorship_blocks_proposals():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=4,
+                               k_silent=1000, leader_timeout=0.01)
+    cluster = make_cluster(config=config)
+    Censorship([2], start=0.0).install(cluster)
+    result = cluster.run(0.5)
+    # the censored replica's blocks never disseminate
+    censored = cluster.replicas[2]
+    others = [r for r in cluster.replicas if r.id != 2]
+    for other in others:
+        assert other.dag.vertex_of(0, 2) is None
+    assert result.executed > 0  # the rest of the system makes progress
+
+
+def test_censorship_victim_stalls_until_reconfiguration():
+    """A censored proposer cannot certify blocks (its proposals never reach
+    voters), so its shard stalls — the remedy the paper prescribes is
+    Shift-block reconfiguration, not in-epoch recovery."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=4,
+                               k_silent=1000, leader_timeout=0.01)
+    cluster = make_cluster(config=config)
+    Censorship([2], start=0.0, end=0.2).install(cluster)
+    result = cluster.run(0.6)
+    victim = cluster.replicas[2]
+    healthy = cluster.replicas[0]
+    assert victim.round < healthy.round / 2
+    assert result.executed > 0
+
+
+def test_censorship_triggers_reconfiguration():
+    """§6: a silent shard triggers Shift blocks and the proposers rotate."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=4,
+                               k_silent=4, leader_timeout=0.01)
+    cluster = make_cluster(config=config)
+    Censorship([2], start=0.0).install(cluster)
+    result = cluster.run(1.0)
+    assert result.reconfigurations >= 1
+    assert result.executed > 0
+
+
+def test_proposal_delay_slows_but_does_not_stop():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=4,
+                               k_silent=1000, leader_timeout=0.005)
+    cluster = make_cluster(config=config)
+    install_proposal_delay(cluster, [1], extra_delay=0.02)
+    result = cluster.run(0.5)
+    assert result.executed > 0
+    assert cluster.logs_prefix_consistent()

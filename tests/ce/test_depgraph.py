@@ -1,0 +1,202 @@
+"""Unit tests for the dependency-graph structure."""
+
+import pytest
+
+from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
+                               NodeStatus, TxNode)
+from repro.errors import SerializationError
+
+
+def make_node(tx_id, attempt=1):
+    return TxNode(tx_id=tx_id, attempt=attempt)
+
+
+@pytest.fixture
+def graph():
+    return DependencyGraph()
+
+
+def test_add_and_get_node(graph):
+    node = make_node(1)
+    graph.add_node(node)
+    assert graph.get(1) is node
+    assert graph.get(2) is None
+
+
+def test_second_live_attempt_rejected(graph):
+    graph.add_node(make_node(1))
+    with pytest.raises(SerializationError):
+        graph.add_node(make_node(1, attempt=2))
+
+
+def test_new_attempt_after_abort_allowed(graph):
+    first = make_node(1)
+    graph.add_node(first)
+    first.status = NodeStatus.ABORTED
+    graph.add_node(make_node(1, attempt=2))
+    assert graph.get(1).attempt == 2
+
+
+def test_add_edge_and_has_edge(graph):
+    a, b = make_node(1), make_node(2)
+    graph.add_node(a)
+    graph.add_node(b)
+    graph.add_edge(a, b, "k", EdgeKind.READ_FROM)
+    assert graph.has_edge(a, b)
+    assert not graph.has_edge(b, a)
+
+
+def test_self_edge_rejected(graph):
+    a = make_node(1)
+    graph.add_node(a)
+    with pytest.raises(SerializationError):
+        graph.add_edge(a, a, "k", EdgeKind.ANTI)
+
+
+def test_duplicate_edge_label_idempotent(graph):
+    a, b = make_node(1), make_node(2)
+    graph.add_edge(a, b, "k", EdgeKind.PIN)
+    graph.add_edge(a, b, "k", EdgeKind.PIN)
+    assert graph.edge_count() == 0  # nodes not registered in graph.nodes
+    assert len(a.out_edges[b]) == 1
+
+
+def test_has_path_transitive(graph):
+    a, b, c = make_node(1), make_node(2), make_node(3)
+    graph.add_edge(a, b, "k", EdgeKind.ANTI)
+    graph.add_edge(b, c, "k2", EdgeKind.ANTI)
+    assert graph.has_path(a, c)
+    assert not graph.has_path(c, a)
+    assert graph.has_path(a, a)
+
+
+def test_writer_reader_indexes(graph):
+    a, b = make_node(1), make_node(2)
+    a.records["k"] = KeyRecord(wrote=True, last_write=1)
+    graph.register_writer("k", a)
+    graph.register_reader("k", b)
+    assert graph.writers_of("k") == [a]
+    assert graph.readers_of("k") == [b]
+    assert graph.latest_alive_writer("k") is a
+
+
+def test_aborted_nodes_excluded_from_indexes(graph):
+    a = make_node(1)
+    graph.register_writer("k", a)
+    a.status = NodeStatus.ABORTED
+    assert graph.writers_of("k") == []
+    assert graph.latest_alive_writer("k") is None
+
+
+def test_latest_writer_is_insertion_order(graph):
+    a, b = make_node(1), make_node(2)
+    graph.register_writer("k", a)
+    graph.register_writer("k", b)
+    assert graph.latest_alive_writer("k") is b
+    b.status = NodeStatus.ABORTED
+    assert graph.latest_alive_writer("k") is a
+
+
+def test_detach_removes_edges_and_back_references(graph):
+    a, b, c = make_node(1), make_node(2), make_node(3)
+    for node in (a, b, c):
+        graph.add_node(node)
+    graph.add_edge(a, b, "k", EdgeKind.READ_FROM)
+    graph.add_edge(c, a, "k", EdgeKind.ANTI)
+    a.records["k"] = KeyRecord(wrote=True, last_write=1)
+    a.records["k"].readers[b] = None
+    b.records["k"] = KeyRecord(first_read=1, read_from=a)
+    graph.register_writer("k", a)
+    a.status = NodeStatus.ABORTED
+    former_out = graph.detach_node(a)
+    assert former_out == [b]
+    assert a not in b.in_edges
+    assert a not in c.out_edges
+    assert not a.out_edges and not a.in_edges
+
+
+def test_detach_cleans_read_from_backrefs(graph):
+    writer, reader = make_node(1), make_node(2)
+    writer.records["k"] = KeyRecord(wrote=True, last_write=5)
+    writer.records["k"].readers[reader] = None
+    reader.records["k"] = KeyRecord(first_read=5, read_from=writer)
+    graph.add_node(writer)
+    graph.add_node(reader)
+    reader.status = NodeStatus.ABORTED
+    graph.detach_node(reader)
+    assert reader not in writer.records["k"].readers
+
+
+def test_is_acyclic_true_for_dag(graph):
+    nodes = [make_node(i) for i in range(4)]
+    for node in nodes:
+        graph.add_node(node)
+    graph.add_edge(nodes[0], nodes[1], "k", EdgeKind.ANTI)
+    graph.add_edge(nodes[1], nodes[2], "k", EdgeKind.ANTI)
+    graph.add_edge(nodes[0], nodes[3], "k", EdgeKind.ANTI)
+    assert graph.is_acyclic()
+
+
+def test_is_acyclic_detects_cycle(graph):
+    a, b = make_node(1), make_node(2)
+    graph.add_node(a)
+    graph.add_node(b)
+    graph.add_edge(a, b, "k", EdgeKind.ANTI)
+    graph.add_edge(b, a, "k2", EdgeKind.ANTI)
+    assert not graph.is_acyclic()
+
+
+def test_topological_order_respects_edges(graph):
+    nodes = [make_node(i) for i in range(5)]
+    for node in nodes:
+        graph.add_node(node)
+    graph.add_edge(nodes[3], nodes[1], "k", EdgeKind.ANTI)
+    graph.add_edge(nodes[1], nodes[0], "k", EdgeKind.ANTI)
+    order = graph.topological_order()
+    position = {node.tx_id: i for i, node in enumerate(order)}
+    assert position[3] < position[1] < position[0]
+    assert len(order) == 5
+
+
+def test_topological_order_raises_on_cycle(graph):
+    a, b = make_node(1), make_node(2)
+    graph.add_node(a)
+    graph.add_node(b)
+    graph.add_edge(a, b, "k", EdgeKind.ANTI)
+    graph.add_edge(b, a, "k", EdgeKind.PIN)
+    with pytest.raises(SerializationError):
+        graph.topological_order()
+
+
+def test_node_type_classification():
+    node = make_node(1)
+    node.records["r"] = KeyRecord(first_read=1)
+    node.records["w"] = KeyRecord(wrote=True, last_write=2)
+    assert node.is_read_node("r") and not node.is_write_node("r")
+    assert node.is_write_node("w") and not node.is_read_node("w")
+    assert not node.is_read_node("missing")
+    assert node.has_any_write()
+
+
+def test_read_then_write_record_is_write_node():
+    node = make_node(1)
+    node.records["k"] = KeyRecord(first_read=1, wrote=True, last_write=2)
+    # §8.1: at most two operations retained: first read and last write
+    assert node.is_write_node("k")
+    assert not node.is_read_node("k")
+    assert node.records["k"].read_value() == 2
+
+
+def test_read_write_sets():
+    node = make_node(1)
+    node.records["a"] = KeyRecord(first_read=1)
+    node.records["b"] = KeyRecord(wrote=True, last_write=2)
+    node.records["c"] = KeyRecord(first_read=3, wrote=True, last_write=4)
+    assert node.read_set() == {"a": 1, "c": 3}
+    assert node.write_set() == {"b": 2, "c": 4}
+
+
+def test_key_record_read_value_requires_read():
+    record = KeyRecord()
+    with pytest.raises(SerializationError):
+        record.read_value()

@@ -1,0 +1,159 @@
+"""Unit tests for commit-time parallel validation (§4)."""
+
+import pytest
+
+from repro.ce import CommittedTx, build_validation_levels, validate_block
+from repro.ce.validation import estimate_validation_cost, _makespan
+from repro.contracts import (SEND_PAYMENT, GET_BALANCE, default_registry,
+                             initial_state, run_inline)
+from repro.txn import Transaction
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def preplay_serial(txs, registry, state):
+    """Build CommittedTx entries by serial execution (a valid preplay)."""
+    entries = []
+    replay = dict(state)
+    for index, tx in enumerate(txs):
+        record = run_inline(registry.get(tx.contract), tx.args, replay)
+        replay.update(record.write_set)
+        entries.append(CommittedTx(
+            tx_id=tx.tx_id, order_index=index, read_set=record.read_set,
+            write_set=record.write_set, result=record.result, attempts=1))
+    return entries
+
+
+def test_valid_block_accepted(registry):
+    state = initial_state(8)
+    txs = [Transaction(0, SEND_PAYMENT, (0, 1, 10), (0,)),
+           Transaction(1, SEND_PAYMENT, (2, 3, 5), (0,)),
+           Transaction(2, GET_BALANCE, (0,), (0,))]
+    entries = preplay_serial(txs, registry, state)
+    outcome = validate_block(entries, {t.tx_id: t for t in txs}, registry,
+                             state)
+    assert outcome.valid
+    assert outcome.writes["checking:0"] == 9990
+    assert outcome.simulated_cost > 0
+
+
+def test_read_mismatch_rejected(registry):
+    state = initial_state(8)
+    txs = [Transaction(0, SEND_PAYMENT, (0, 1, 10), (0,))]
+    entries = preplay_serial(txs, registry, state)
+    tampered = CommittedTx(tx_id=0, order_index=0,
+                           read_set={"checking:0": 999,
+                                     "checking:1": 10000},
+                           write_set=entries[0].write_set,
+                           result=entries[0].result, attempts=1)
+    outcome = validate_block([tampered], {t.tx_id: t for t in txs},
+                             registry, state)
+    assert not outcome.valid
+    assert "read set mismatch" in outcome.reason
+
+
+def test_write_mismatch_rejected(registry):
+    state = initial_state(8)
+    txs = [Transaction(0, SEND_PAYMENT, (0, 1, 10), (0,))]
+    entries = preplay_serial(txs, registry, state)
+    tampered = CommittedTx(tx_id=0, order_index=0,
+                           read_set=entries[0].read_set,
+                           write_set={"checking:0": 1},
+                           result=entries[0].result, attempts=1)
+    outcome = validate_block([tampered], {t.tx_id: t for t in txs},
+                             registry, state)
+    assert not outcome.valid
+
+
+def test_unknown_transaction_rejected(registry):
+    entry = CommittedTx(tx_id=42, order_index=0, read_set={}, write_set={},
+                        result=None, attempts=1)
+    outcome = validate_block([entry], {}, registry, {})
+    assert not outcome.valid
+    assert "unknown transaction" in outcome.reason
+
+
+def test_stale_state_detected(registry):
+    """A block preplayed against old state fails once the key moved on —
+    the §4 discard case."""
+    state = initial_state(8)
+    txs = [Transaction(0, SEND_PAYMENT, (0, 1, 10), (0,))]
+    entries = preplay_serial(txs, registry, state)
+    moved = dict(state)
+    moved["checking:0"] = 7777
+    outcome = validate_block(entries, {t.tx_id: t for t in txs}, registry,
+                             moved)
+    assert not outcome.valid
+
+
+def test_levels_disjoint_same_level():
+    entries = [
+        CommittedTx(0, 0, {"a": 1}, {"a": 2}, None, 1),
+        CommittedTx(1, 1, {"b": 1}, {"b": 2}, None, 1),
+        CommittedTx(2, 2, {"c": 1}, {"c": 2}, None, 1),
+    ]
+    levels = build_validation_levels(entries)
+    assert len(levels) == 1
+    assert len(levels[0]) == 3
+
+
+def test_levels_write_write_conflict_serializes():
+    entries = [
+        CommittedTx(0, 0, {}, {"a": 1}, None, 1),
+        CommittedTx(1, 1, {}, {"a": 2}, None, 1),
+    ]
+    levels = build_validation_levels(entries)
+    assert len(levels) == 2
+
+
+def test_levels_read_after_write_serializes():
+    entries = [
+        CommittedTx(0, 0, {}, {"a": 1}, None, 1),
+        CommittedTx(1, 1, {"a": 1}, {}, None, 1),
+    ]
+    assert len(build_validation_levels(entries)) == 2
+
+
+def test_levels_write_after_read_serializes():
+    entries = [
+        CommittedTx(0, 0, {"a": 0}, {}, None, 1),
+        CommittedTx(1, 1, {}, {"a": 1}, None, 1),
+    ]
+    assert len(build_validation_levels(entries)) == 2
+
+
+def test_levels_reads_share_level():
+    entries = [
+        CommittedTx(0, 0, {"a": 0}, {}, None, 1),
+        CommittedTx(1, 1, {"a": 0}, {}, None, 1),
+    ]
+    assert len(build_validation_levels(entries)) == 1
+
+
+def test_makespan():
+    assert _makespan([], 4) == 0.0
+    assert _makespan([1.0, 1.0, 1.0, 1.0], 2) == pytest.approx(2.0)
+    assert _makespan([4.0, 1.0, 1.0], 2) == pytest.approx(4.0)
+
+
+def test_more_validators_cheaper():
+    entries = [CommittedTx(i, i, {f"k{i}": 1}, {f"k{i}": 2}, None, 1)
+               for i in range(16)]
+    few = estimate_validation_cost(entries, validators=1)
+    many = estimate_validation_cost(entries, validators=16)
+    assert many < few
+
+
+def test_contention_does_not_serialize_validation():
+    """§4: with declared read/write sets, each transaction's input view is
+    reconstructible without executing predecessors, so validation cost is
+    independent of data contention (no level barriers)."""
+    disjoint = [CommittedTx(i, i, {}, {f"k{i}": 1}, None, 1)
+                for i in range(8)]
+    conflicting = [CommittedTx(i, i, {}, {"k": 1}, None, 1)
+                   for i in range(8)]
+    assert estimate_validation_cost(conflicting, validators=8) == \
+        pytest.approx(estimate_validation_cost(disjoint, validators=8))

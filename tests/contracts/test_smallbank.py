@@ -1,0 +1,129 @@
+"""Unit tests for the six SmallBank contracts."""
+
+import pytest
+
+from repro.contracts import (ALL_CONTRACTS, account_of_key, checking_key,
+                             default_registry, initial_state, run_inline,
+                             savings_key, smallbank)
+from repro.contracts import smallbank as sb
+
+
+@pytest.fixture
+def state():
+    return initial_state(4, checking=100, savings=50)
+
+
+def run(contract, args, state):
+    return run_inline(contract, args, state)
+
+
+def test_key_helpers_roundtrip():
+    assert checking_key(7) == "checking:7"
+    assert savings_key(7) == "savings:7"
+    assert account_of_key(checking_key(123)) == 123
+    assert account_of_key(savings_key(45)) == 45
+
+
+def test_initial_state_shape():
+    state = initial_state(3, checking=10, savings=20)
+    assert len(state) == 6
+    assert state["checking:0"] == 10
+    assert state["savings:2"] == 20
+
+
+def test_default_registry_has_all_six():
+    registry = default_registry()
+    assert len(registry.names()) == 6
+    for name in ALL_CONTRACTS:
+        assert name in registry
+
+
+def test_get_balance(state):
+    record = run(sb.get_balance, (1,), state)
+    assert record.result == {"ok": True, "balance": 150}
+    assert record.write_set == {}
+
+
+def test_send_payment_success(state):
+    record = run(sb.send_payment, (0, 1, 30), state)
+    assert record.result == {"ok": True}
+    assert record.write_set == {"checking:0": 70, "checking:1": 130}
+
+
+def test_send_payment_insufficient_funds(state):
+    record = run(sb.send_payment, (0, 1, 1000), state)
+    assert record.result["ok"] is False
+    assert record.write_set == {}
+
+
+def test_send_payment_reads_before_writing(state):
+    record = run(sb.send_payment, (0, 1, 30), state)
+    assert record.read_set == {"checking:0": 100, "checking:1": 100}
+
+
+def test_deposit_checking(state):
+    record = run(sb.deposit_checking, (2, 25), state)
+    assert record.write_set == {"checking:2": 125}
+
+
+def test_transact_savings_accepts_positive(state):
+    record = run(sb.transact_savings, (0, 10), state)
+    assert record.write_set == {"savings:0": 60}
+
+
+def test_transact_savings_rejects_overdraft(state):
+    record = run(sb.transact_savings, (0, -60), state)
+    assert record.result["ok"] is False
+    assert record.write_set == {}
+
+
+def test_transact_savings_allows_exact_zero(state):
+    record = run(sb.transact_savings, (0, -50), state)
+    assert record.result["ok"] is True
+    assert record.write_set == {"savings:0": 0}
+
+
+def test_write_check_sufficient(state):
+    record = run(sb.write_check, (0, 120), state)
+    # savings 50 + checking 100 >= 120: no penalty
+    assert record.write_set == {"checking:0": -20}
+
+
+def test_write_check_overdraft_penalty(state):
+    record = run(sb.write_check, (0, 200), state)
+    assert record.write_set == {"checking:0": 100 - 200 - 1}
+
+
+def test_amalgamate_moves_everything(state):
+    record = run(sb.amalgamate, (0, 1), state)
+    assert record.write_set == {"savings:0": 0, "checking:0": 0,
+                                "checking:1": 250}
+    assert record.result["moved"] == 150
+
+
+def test_amalgamate_conserves_money(state):
+    record = run(sb.amalgamate, (0, 1), state)
+    after = dict(state)
+    after.update(record.write_set)
+    assert sum(after.values()) == sum(state.values())
+
+
+def test_send_payment_conserves_money(state):
+    record = run(sb.send_payment, (0, 3, 42), state)
+    after = dict(state)
+    after.update(record.write_set)
+    assert sum(after.values()) == sum(state.values())
+
+
+def test_contracts_are_deterministic(state):
+    r1 = run(sb.send_payment, (0, 1, 30), state)
+    r2 = run(sb.send_payment, (0, 1, 30), state)
+    assert r1.read_set == r2.read_set
+    assert r1.write_set == r2.write_set
+    assert r1.result == r2.result
+
+
+def test_register_twice_raises():
+    registry = default_registry()
+    with pytest.raises(Exception):
+        sb.register_smallbank(registry)

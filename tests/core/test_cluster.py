@@ -1,0 +1,168 @@
+"""Cluster-level behaviour tests (fast, small scales)."""
+
+import pytest
+
+from repro.core import ThunderboltConfig
+from repro.core.cluster import Cluster
+from repro.errors import ConfigError
+from repro.workloads import WorkloadConfig
+
+from tests.conftest import make_cluster
+
+
+def run_small(config=None, workload=None, duration=0.5, drain=0.0,
+              **kwargs):
+    cluster = make_cluster(config, workload, **kwargs)
+    result = cluster.run(duration, drain=drain)
+    return cluster, result
+
+
+def test_basic_progress():
+    cluster, result = run_small()
+    assert result.executed > 0
+    assert result.throughput > 0
+    assert result.validation_failures == 0
+
+
+def test_commit_logs_prefix_consistent():
+    cluster, result = run_small(duration=0.4)
+    assert cluster.logs_prefix_consistent()
+
+
+def test_states_converge_at_equal_log_lengths():
+    cluster, result = run_small(duration=0.5, drain=0.3)
+    checksums = {}
+    for replica_id, (log_len, checksum) in cluster.state_checksums().items():
+        checksums.setdefault(log_len, set()).add(checksum)
+    for log_len, sums in checksums.items():
+        assert len(sums) == 1, f"state divergence at log length {log_len}"
+
+
+def test_latency_positive_and_bounded():
+    _, result = run_small(duration=0.5)
+    assert 0 < result.mean_latency < 0.5
+    assert result.p99_latency >= result.p50_latency
+
+
+def test_crash_replicas_validated():
+    with pytest.raises(ConfigError):
+        make_cluster(crash_replicas=(9,))
+
+
+def test_progress_with_f_crashed():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=3,
+                               leader_timeout=0.01, k_silent=1000)
+    cluster, result = run_small(config=config, crash_replicas=(2,),
+                                crash_at=0.1, duration=0.8)
+    assert result.executed > 0
+    assert cluster.logs_prefix_consistent()
+
+
+def test_cross_shard_transactions_execute():
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.3)
+    cluster, result = run_small(workload=workload, duration=0.5, drain=0.3)
+    assert result.executed_cross > 0
+    assert result.validation_failures == 0
+
+
+def test_cross_shard_money_conserved():
+    workload = WorkloadConfig(accounts=120, cross_shard_ratio=0.5,
+                              read_probability=0.0)
+    cluster, result = run_small(workload=workload, duration=0.4, drain=0.4)
+    total0 = 120 * 20_000
+    # the replica with the longest log has the most complete state
+    replica = max(cluster.replicas, key=lambda r: len(r.commit_log))
+    total = sum(value for _, value in replica.store.scan())
+    assert total == total0
+
+
+def test_occ_engine_runs():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, engine="occ",
+                               seed=5)
+    _, result = run_small(config=config)
+    assert result.executed > 0
+    assert result.validation_failures == 0
+
+
+def test_serial_engine_runs():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, engine="serial",
+                               seed=5)
+    _, result = run_small(config=config)
+    assert result.executed > 0
+
+
+def test_serial_latency_grows_with_backlog():
+    """The Tusk baseline's execution backlog shows up as growing latency."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=50, engine="serial",
+                               seed=5)
+    _, short = run_small(config=config, duration=0.3)
+    _, long = run_small(config=config, duration=1.2)
+    assert long.mean_latency > short.mean_latency
+
+
+def test_periodic_reconfiguration_triggers():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=6,
+                               k_prime=15, k_silent=10)
+    cluster, result = run_small(config=config, duration=1.0)
+    assert result.reconfigurations >= 1
+    assert result.executed > 0
+    # every replica reached the same epoch sequence
+    epochs = {replica.epoch for replica in cluster.replicas}
+    assert len(epochs) <= 2  # replicas may be one transition apart at cutoff
+
+
+def test_reconfiguration_rotates_shards():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=6,
+                               k_prime=15, k_silent=10)
+    cluster, result = run_small(config=config, duration=1.0)
+    replica = cluster.replicas[0]
+    assert replica.epoch >= 1
+    assert replica.my_shard == (replica.id - replica.epoch) % 4
+
+
+def test_dropped_transactions_resubmitted():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=6,
+                               k_prime=15, k_silent=10)
+    cluster, result = run_small(config=config, duration=1.0)
+    assert result.dropped_transactions > 0  # reconfigs drop the tail
+    assert result.executed > 0
+
+
+def test_deterministic_runs():
+    def once():
+        _, result = run_small(duration=0.3)
+        return (result.executed, result.blocks_committed)
+    assert once() == once()
+
+
+def test_different_seeds_differ():
+    _, a = run_small(config=ThunderboltConfig(n_replicas=4, batch_size=10,
+                                              seed=1), duration=0.3)
+    _, b = run_small(config=ThunderboltConfig(n_replicas=4, batch_size=10,
+                                              seed=2), duration=0.3)
+    assert (a.executed, a.mean_latency) != (b.executed, b.mean_latency)
+
+
+def test_skip_blocks_mode_produces_skip_blocks():
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.4)
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=8,
+                               skip_blocks=True)
+    cluster, result = run_small(config=config, workload=workload,
+                                duration=0.5)
+    assert result.metrics.blocks_by_kind.get("skip", 0) > 0
+
+
+def test_conversion_mode_produces_cross_blocks():
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.4)
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=8,
+                               skip_blocks=False)
+    cluster, result = run_small(config=config, workload=workload,
+                                duration=0.5)
+    assert result.metrics.blocks_by_kind.get("skip", 0) == 0
+    assert result.metrics.blocks_by_kind.get("cross", 0) > 0
+
+
+def test_quickrun_smoke():
+    from repro import quickrun
+    result = quickrun(n_replicas=4, duration=0.3, batch_size=10)
+    assert result.executed > 0

@@ -1,0 +1,70 @@
+"""Unit tests for shard mapping and proposer rotation."""
+
+import pytest
+
+from repro.contracts import checking_key, savings_key
+from repro.core import ShardMap
+from repro.errors import ConfigError
+
+
+def test_requires_positive_shards():
+    with pytest.raises(ConfigError):
+        ShardMap(0)
+
+
+def test_shard_of_account_modulo():
+    shard_map = ShardMap(4)
+    assert shard_map.shard_of_account(0) == 0
+    assert shard_map.shard_of_account(5) == 1
+    assert shard_map.shard_of_account(7) == 3
+
+
+def test_shard_of_key_both_families():
+    shard_map = ShardMap(4)
+    assert shard_map.shard_of_key(checking_key(6)) == 2
+    assert shard_map.shard_of_key(savings_key(6)) == 2
+
+
+def test_shards_of_accounts_sorted_distinct():
+    shard_map = ShardMap(4)
+    assert shard_map.shards_of_accounts([7, 3, 4]) == (0, 3)
+    assert shard_map.shards_of_accounts([1]) == (1,)
+
+
+def test_proposer_identity_epoch_zero():
+    shard_map = ShardMap(4)
+    for shard in range(4):
+        assert shard_map.proposer_of(shard, 0) == shard
+
+
+def test_proposer_rotates_per_epoch():
+    """§6: proposer of shard X moves to the next replica each epoch."""
+    shard_map = ShardMap(4)
+    assert shard_map.proposer_of(0, 1) == 1
+    assert shard_map.proposer_of(3, 1) == 0
+    assert shard_map.proposer_of(0, 4) == 0  # full cycle
+
+
+def test_shard_served_by_is_inverse():
+    shard_map = ShardMap(5)
+    for epoch in range(7):
+        for shard in range(5):
+            proposer = shard_map.proposer_of(shard, epoch)
+            assert shard_map.shard_served_by(proposer, epoch) == shard
+
+
+def test_rotation_is_permutation_each_epoch():
+    shard_map = ShardMap(6)
+    for epoch in range(6):
+        proposers = {shard_map.proposer_of(s, epoch) for s in range(6)}
+        assert proposers == set(range(6))
+
+
+def test_out_of_range_validation():
+    shard_map = ShardMap(4)
+    with pytest.raises(ConfigError):
+        shard_map.proposer_of(4, 0)
+    with pytest.raises(ConfigError):
+        shard_map.proposer_of(0, -1)
+    with pytest.raises(ConfigError):
+        shard_map.shard_served_by(9, 0)

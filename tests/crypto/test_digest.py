@@ -1,0 +1,64 @@
+"""Unit tests for canonical encoding and digests."""
+
+import pytest
+
+from repro.crypto import canonical_encode, digest_bytes, digest_of
+
+
+def test_digest_is_hex_of_fixed_length():
+    d = digest_of({"a": 1})
+    assert len(d) == 32
+    int(d, 16)  # parses as hex
+
+
+def test_digest_deterministic():
+    value = {"k": [1, 2.5, "x", None, True]}
+    assert digest_of(value) == digest_of(value)
+
+
+def test_digest_dict_key_order_irrelevant():
+    assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+
+
+def test_digest_distinguishes_values():
+    assert digest_of({"a": 1}) != digest_of({"a": 2})
+
+
+def test_digest_distinguishes_types():
+    assert digest_of(1) != digest_of("1")
+    assert digest_of(True) != digest_of(1)
+    assert digest_of(None) != digest_of(0)
+    assert digest_of(1) != digest_of(1.0)
+
+
+def test_digest_nested_structures():
+    a = digest_of([{"x": [1, 2]}, (3, 4)])
+    b = digest_of([{"x": [1, 2]}, [3, 4]])
+    # lists and tuples encode identically (both are sequences)
+    assert a == b
+
+
+def test_string_length_prefix_prevents_ambiguity():
+    # "ab" + "c" must differ from "a" + "bc"
+    assert canonical_encode(["ab", "c"]) != canonical_encode(["a", "bc"])
+
+
+def test_bytes_supported():
+    assert digest_of(b"\x00\x01") != digest_of(b"\x00\x02")
+
+
+def test_unsupported_type_raises():
+    class Custom:
+        pass
+    with pytest.raises(TypeError):
+        canonical_encode(Custom())
+
+
+def test_digest_bytes_stable():
+    assert digest_bytes(b"hello") == digest_bytes(b"hello")
+    assert digest_bytes(b"hello") != digest_bytes(b"hellp")
+
+
+def test_empty_containers_distinct():
+    assert digest_of([]) != digest_of({})
+    assert digest_of("") != digest_of([])

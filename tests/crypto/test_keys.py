@@ -1,0 +1,68 @@
+"""Unit tests for simulated key pairs and the registry."""
+
+import pytest
+
+from repro.crypto import KeyPair, KeyRegistry
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def registry_with_keys():
+    registry = KeyRegistry()
+    pairs = [KeyPair.generate(i, entropy=42) for i in range(4)]
+    for pair in pairs:
+        registry.register(pair)
+    return registry, pairs
+
+
+def test_generate_deterministic():
+    a = KeyPair.generate(0, entropy=1)
+    b = KeyPair.generate(0, entropy=1)
+    assert a.public == b.public
+
+
+def test_generate_differs_by_owner_and_entropy():
+    assert KeyPair.generate(0, 1).public != KeyPair.generate(1, 1).public
+    assert KeyPair.generate(0, 1).public != KeyPair.generate(0, 2).public
+
+
+def test_sign_and_verify(registry_with_keys):
+    registry, pairs = registry_with_keys
+    signature = pairs[0].sign({"msg": "hello"})
+    assert registry.verify({"msg": "hello"}, signature)
+
+
+def test_verify_rejects_tampered_message(registry_with_keys):
+    registry, pairs = registry_with_keys
+    signature = pairs[0].sign({"msg": "hello"})
+    assert not registry.verify({"msg": "bye"}, signature)
+
+
+def test_signature_identifies_owner(registry_with_keys):
+    _, pairs = registry_with_keys
+    assert pairs[2].sign("m").signer.owner == 2
+
+
+def test_unknown_key_raises():
+    registry = KeyRegistry()
+    signature = KeyPair.generate(0, 1).sign("m")
+    with pytest.raises(CryptoError):
+        registry.verify("m", signature)
+
+
+def test_require_valid_raises_on_forgery(registry_with_keys):
+    registry, pairs = registry_with_keys
+    signature = pairs[0].sign("m")
+    with pytest.raises(CryptoError):
+        registry.require_valid("other", signature)
+
+
+def test_signatures_differ_per_signer(registry_with_keys):
+    _, pairs = registry_with_keys
+    assert pairs[0].sign("m").mac != pairs[1].sign("m").mac
+
+
+def test_empty_mac_rejected():
+    from repro.crypto.keys import Signature, PublicKey
+    with pytest.raises(CryptoError):
+        Signature(signer=PublicKey(0, "k"), mac="")

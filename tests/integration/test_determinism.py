@@ -1,0 +1,64 @@
+"""Reproducibility: identical seeds yield bit-identical runs.
+
+Everything in the library is driven by seeded RNGs and a deterministic
+event queue; these tests pin that property at every level, because all the
+benchmark comparisons depend on it.
+"""
+
+from repro.ce import CEConfig, CERunner
+from repro.contracts import default_registry, initial_state
+from repro.core import ThunderboltConfig
+from repro.core.cluster import Cluster
+from repro.sim import Environment, make_rng
+from repro.workloads import SmallBankWorkload, WorkloadConfig
+from repro.core.shards import ShardMap
+
+
+def test_workload_stream_deterministic():
+    def build():
+        workload = SmallBankWorkload(
+            WorkloadConfig(accounts=300, cross_shard_ratio=0.2),
+            ShardMap(4), seed=9, shard=1)
+        return [(tx.tx_id, tx.contract, tx.args)
+                for tx in workload.batch(100)]
+    assert build() == build()
+
+
+def test_ce_batch_fully_deterministic():
+    def run():
+        registry = default_registry()
+        workload = SmallBankWorkload(WorkloadConfig(accounts=100),
+                                     ShardMap(1), seed=4)
+        txs = workload.batch(100)
+        env = Environment()
+        runner = CERunner(registry, CEConfig(executors=8), make_rng(5))
+        proc = runner.run_batch(env, txs, initial_state(100))
+        env.run()
+        result = proc.value
+        return (result.order, result.elapsed, result.re_executions,
+                sorted(result.final_writes().items()))
+    assert run() == run()
+
+
+def test_cluster_run_fully_deterministic():
+    def run():
+        config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=13)
+        workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.1)
+        cluster = Cluster(config, workload)
+        result = cluster.run(0.3)
+        logs = tuple(tuple(r.commit_log.digests())
+                     for r in cluster.replicas)
+        return (result.executed, result.blocks_committed,
+                round(result.mean_latency, 12), logs)
+    assert run() == run()
+
+
+def test_cluster_with_reconfig_deterministic():
+    def run():
+        config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=14,
+                                   k_prime=15, k_silent=10)
+        cluster = Cluster(config, WorkloadConfig(accounts=200))
+        result = cluster.run(0.5)
+        return (result.executed, result.reconfigurations,
+                tuple(r.epoch for r in cluster.replicas))
+    assert run() == run()

@@ -1,0 +1,118 @@
+"""End-to-end system tests: the whole stack under one roof.
+
+These are the slowest tests in the suite; they assert the headline system
+properties — safety across engines and fault patterns, conservation of
+application state, and the qualitative performance relations the paper's
+system evaluation (§12) is built on."""
+
+import pytest
+
+from repro.core import ThunderboltConfig
+from repro.core.cluster import Cluster
+from repro.workloads import WorkloadConfig
+
+from tests.conftest import make_cluster
+
+
+def converged_state_total(cluster):
+    replica = max(cluster.replicas, key=lambda r: len(r.commit_log))
+    return sum(value for _, value in replica.store.scan())
+
+
+@pytest.mark.parametrize("engine", ["ce", "occ", "serial"])
+def test_engines_safe_and_live(engine):
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, engine=engine,
+                               seed=31)
+    cluster = make_cluster(config=config,
+                           workload=WorkloadConfig(accounts=200))
+    result = cluster.run(0.5, drain=0.3)
+    assert result.executed > 0
+    assert result.validation_failures == 0
+    assert cluster.logs_prefix_consistent()
+
+
+def test_money_conserved_end_to_end_with_cross_shard():
+    workload = WorkloadConfig(accounts=120, read_probability=0.0,
+                              cross_shard_ratio=0.3)
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=32)
+    cluster = make_cluster(config=config, workload=workload)
+    cluster.run(0.6, drain=0.5)
+    assert converged_state_total(cluster) == 120 * 20_000
+
+
+def test_money_conserved_across_reconfigurations():
+    workload = WorkloadConfig(accounts=120, read_probability=0.0,
+                              cross_shard_ratio=0.2)
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=33,
+                               k_prime=15, k_silent=10)
+    cluster = make_cluster(config=config, workload=workload)
+    result = cluster.run(1.2, drain=0.5)
+    assert result.reconfigurations >= 1
+    assert converged_state_total(cluster) == 120 * 20_000
+
+
+def test_thunderbolt_sustains_throughput_where_tusk_backlogs():
+    """§12 / Fig. 13's mechanism: Tusk's serial post-order execution builds
+    a backlog (latency grows with run length) while Thunderbolt's
+    preplayed execution keeps latency flat."""
+    workload = WorkloadConfig(accounts=400)
+
+    def run(engine, duration):
+        config = ThunderboltConfig(n_replicas=4, batch_size=50,
+                                   engine=engine, seed=34)
+        cluster = make_cluster(config=config, workload=workload)
+        return cluster.run(duration)
+
+    tb_short, tb_long = run("ce", 0.4), run("ce", 1.2)
+    tusk_short, tusk_long = run("serial", 0.4), run("serial", 1.2)
+    tb_growth = tb_long.mean_latency / max(tb_short.mean_latency, 1e-9)
+    tusk_growth = tusk_long.mean_latency / max(tusk_short.mean_latency, 1e-9)
+    assert tusk_growth > 1.5
+    assert tb_growth < tusk_growth
+
+
+def test_crash_faults_do_not_break_safety():
+    config = ThunderboltConfig(n_replicas=7, batch_size=8, seed=35,
+                               leader_timeout=0.01, k_silent=1000)
+    workload = WorkloadConfig(accounts=280, cross_shard_ratio=0.1)
+    cluster = make_cluster(config=config, workload=workload,
+                           crash_replicas=(5, 6), crash_at=0.15)
+    result = cluster.run(0.8, drain=0.3)
+    assert result.executed > 0
+    assert result.validation_failures == 0
+    assert cluster.logs_prefix_consistent()
+
+
+def test_seven_replica_cluster():
+    config = ThunderboltConfig(n_replicas=7, batch_size=8, seed=36)
+    cluster = make_cluster(config=config,
+                           workload=WorkloadConfig(accounts=280))
+    result = cluster.run(0.4)
+    assert result.executed > 0
+    assert cluster.logs_prefix_consistent()
+
+
+def test_wan_latency_slows_commits():
+    from repro.sim import LatencyModel
+
+    def run(latency):
+        config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=37,
+                                   latency=latency, leader_timeout=0.5)
+        cluster = make_cluster(config=config)
+        return cluster.run(2.0)
+
+    lan = run(LatencyModel.lan())
+    wan = run(LatencyModel.wan())
+    assert wan.mean_latency > lan.mean_latency
+    assert wan.blocks_committed < lan.blocks_committed
+
+
+def test_extended_smallbank_mix_end_to_end():
+    workload = WorkloadConfig(accounts=200, extended_mix=True,
+                              cross_shard_ratio=0.1)
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=38)
+    cluster = make_cluster(config=config, workload=workload)
+    result = cluster.run(0.6, drain=0.3)
+    assert result.executed > 0
+    assert result.validation_failures == 0
+    assert cluster.logs_prefix_consistent()

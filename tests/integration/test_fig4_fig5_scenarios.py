@@ -1,0 +1,111 @@
+"""Figs. 4 & 5 / §5: proposal-rule behaviour around cross-shard conflicts.
+
+Fig. 4 shows single-shard transactions *converted* to cross-shard handling
+when they conflict with uncommitted cross-shard work (rules P3/P4) or when
+the leader is late (P6); Fig. 5 shows the skip-block alternative that
+preserves preplay (§5.4).  These tests drive the full cluster into those
+regimes and assert the observable outcomes.
+"""
+
+import pytest
+
+from repro.adversary import install_proposal_delay
+from repro.core import ThunderboltConfig
+from repro.dag.types import BlockKind
+from repro.workloads import WorkloadConfig
+
+from tests.conftest import make_cluster
+
+
+def blocks_of_kind(cluster, kind):
+    total = 0
+    replica = cluster.replicas[0]
+    for round_number in range(replica.dag.highest_round() + 1):
+        for vertex in replica.dag.round_vertices(round_number):
+            if vertex.block.kind is kind:
+                total += 1
+    return total
+
+
+def test_skip_blocks_keep_dag_advancing_under_conflicts():
+    """Fig. 5: with skip blocks on, conflicted proposers emit SKIP vertices
+    instead of converting, and preplay recovers afterwards."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=21,
+                               skip_blocks=True)
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.5)
+    cluster = make_cluster(config=config, workload=workload)
+    result = cluster.run(0.8, drain=0.3)
+    assert result.metrics.blocks_by_kind.get("skip", 0) > 0
+    # preplay recovered: single-shard transactions still flow as EOV
+    assert result.executed_single > 0
+    assert result.validation_failures == 0
+
+
+def test_conversion_mode_promotes_singles_to_cross():
+    """Fig. 4: with skip blocks off, conflicted batches ride as converted
+    cross-shard transactions (they execute post-order, kind 'cross')."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=21,
+                               skip_blocks=False)
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.5)
+    cluster = make_cluster(config=config, workload=workload)
+    result = cluster.run(0.8, drain=0.3)
+    assert result.metrics.blocks_by_kind.get("skip", 0) == 0
+    assert blocks_of_kind(cluster, BlockKind.CROSS) > 0
+    assert result.validation_failures == 0
+
+
+def test_skip_mode_preplays_more_than_conversion_mode():
+    """The point of §5.4: skip blocks preserve EOV throughput relative to
+    converting everything."""
+    workload = WorkloadConfig(accounts=200, cross_shard_ratio=0.3)
+
+    def run(skip):
+        config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=22,
+                                   skip_blocks=skip)
+        cluster = make_cluster(config=config, workload=workload)
+        return cluster.run(0.8, drain=0.3)
+
+    with_skip = run(True)
+    without = run(False)
+    single_share_skip = with_skip.executed_single / max(1, with_skip.executed)
+    single_share_conv = without.executed_single / max(1, without.executed)
+    assert single_share_skip >= single_share_conv
+
+
+def test_p6_leader_timeout_converts():
+    """P6: a delayed leader forces proposers to promote their batches to
+    cross-shard handling rather than stall."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=23,
+                               leader_timeout=0.002, k_silent=1000)
+    cluster = make_cluster(config=config,
+                           workload=WorkloadConfig(accounts=200))
+    install_proposal_delay(cluster, [0], extra_delay=0.05)
+    result = cluster.run(0.6)
+    # replica 0 leads some waves; others time out and convert
+    assert blocks_of_kind(cluster, BlockKind.CROSS) > 0
+    assert result.executed > 0
+    assert result.validation_failures == 0
+
+
+def test_pure_single_shard_workload_never_converts():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=24)
+    cluster = make_cluster(config=config,
+                           workload=WorkloadConfig(accounts=200,
+                                                   cross_shard_ratio=0.0))
+    result = cluster.run(0.6)
+    assert blocks_of_kind(cluster, BlockKind.CROSS) == 0
+    assert result.metrics.blocks_by_kind.get("skip", 0) == 0
+    assert result.executed_cross == 0
+
+
+def test_cross_share_grows_with_ratio():
+    def cross_share(ratio, seed=25):
+        config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=seed)
+        workload = WorkloadConfig(accounts=200, cross_shard_ratio=ratio)
+        cluster = make_cluster(config=config, workload=workload)
+        result = cluster.run(0.6, drain=0.3)
+        return result.executed_cross / max(1, result.executed)
+
+    assert cross_share(0.0) == 0.0
+    low, high = cross_share(0.1), cross_share(0.6)
+    assert low < high

@@ -1,0 +1,112 @@
+"""Fig. 6 / §6: Shift-block reconfiguration scenarios.
+
+A malicious (here: censored/crashed) shard proposer delays its blocks;
+honest replicas broadcast Shift blocks after K silent rounds, the epoch
+ends at a committed leader whose history holds 2f+1 of them, and every
+replica transitions to the next DAG with rotated shard assignments — all
+without stopping consensus (non-blocking)."""
+
+import pytest
+
+from repro.adversary import Censorship
+from repro.core import ThunderboltConfig
+from repro.workloads import WorkloadConfig
+
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def censored_cluster():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=11,
+                               k_silent=4, leader_timeout=0.01)
+    cluster = make_cluster(config=config,
+                           workload=WorkloadConfig(accounts=200))
+    Censorship([3], start=0.0).install(cluster)
+    return cluster
+
+
+def test_silent_proposer_triggers_shift_blocks(censored_cluster):
+    result = censored_cluster.run(1.0)
+    shift_blocks = result.metrics.blocks_by_kind.get("shift", 0)
+    assert shift_blocks >= 3  # 2f+1 = 3 honest replicas shifted
+
+
+def test_all_honest_replicas_reach_same_epoch(censored_cluster):
+    censored_cluster.run(1.0)
+    honest = [r for r in censored_cluster.replicas if r.id != 3]
+    epochs = {r.epoch for r in honest}
+    assert max(epochs) >= 1
+    assert max(epochs) - min(epochs) <= 1  # at most one transition apart
+
+
+def test_shard_assignment_rotates(censored_cluster):
+    censored_cluster.run(1.0)
+    replica = censored_cluster.replicas[0]
+    assert replica.my_shard == (replica.id - replica.epoch) % 4
+
+
+def test_consensus_never_blocks(censored_cluster):
+    """Non-blocking property: commits keep happening before, during, and
+    after the reconfiguration."""
+    result = censored_cluster.run(1.5)
+    times = [t for (_e, _r, t) in result.metrics.commit_times]
+    assert len(times) > 20
+    reconfig_times = [t for (_e, t) in result.metrics.reconfigurations]
+    assert reconfig_times
+    first = reconfig_times[0]
+    assert any(t < first for t in times)
+    assert any(t > first for t in times)
+    # the largest inter-commit gap stays bounded (no multi-hundred-ms stall)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert max(gaps) < 0.5
+
+
+def test_logs_stay_consistent_across_epochs(censored_cluster):
+    censored_cluster.run(1.0)
+    assert censored_cluster.logs_prefix_consistent()
+
+
+def test_condition_2_periodic_rotation_without_faults():
+    """K': periodic rotation fires even with every proposer healthy."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=12,
+                               k_prime=12, k_silent=8)
+    cluster = make_cluster(config=config)
+    result = cluster.run(1.5)
+    assert result.reconfigurations >= 2
+    assert result.executed > 0
+
+
+def test_condition_3_shift_contagion():
+    """Condition (3): replicas that saw f+1 Shift blocks join the shift
+    even when their own conditions (1)/(2) did not fire — like shard 4 in
+    the paper's Example 2."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=13,
+                               k_silent=4, leader_timeout=0.01)
+    cluster = make_cluster(config=config)
+    Censorship([3], start=0.0).install(cluster)
+    result = cluster.run(1.0)
+    # all three honest replicas end up shifting: 2f+1 committed shifts
+    shift_blocks = result.metrics.blocks_by_kind.get("shift", 0)
+    assert shift_blocks >= 3
+
+
+def test_no_reconfiguration_without_trigger():
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=14,
+                               k_silent=1000)
+    cluster = make_cluster(config=config)
+    result = cluster.run(1.0)
+    assert result.reconfigurations == 0
+    assert result.metrics.blocks_by_kind.get("shift", 0) == 0
+
+
+def test_uncommitted_transactions_resubmitted_and_executed():
+    """§6: transactions dropped at the epoch boundary are retransmitted by
+    clients and eventually execute."""
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=15,
+                               k_prime=12, k_silent=8)
+    cluster = make_cluster(config=config)
+    result = cluster.run(1.5, drain=0.5)
+    assert result.dropped_transactions > 0
+    # overall progress continued across many epochs
+    assert result.reconfigurations >= 2
+    assert result.executed > result.dropped_transactions

@@ -1,0 +1,72 @@
+"""Reproduction of Table 1: the CC dependency-generation trace.
+
+The paper walks transactions {T1, T2, T3} over key D (initially 3) through
+twelve time steps; this test drives the controller through the same
+schedule and asserts the states the table records at each step.
+"""
+
+import pytest
+
+from repro.ce import ConcurrencyController, NodeStatus
+from repro.errors import TransactionAborted
+
+
+def test_table1_trace():
+    cc = ConcurrencyController({"D": 3})
+
+    # t0: initial DB D = 3.
+    assert cc.read_root("D") == 3
+
+    # t1: T1 writes D = 3.
+    t1 = cc.begin(1)
+    cc.write(t1, "D", 3)
+
+    # t2: T2 reads D from T1 (D = 3) -> dependency T1 -> T2.
+    t2 = cc.begin(2)
+    assert cc.read(t2, "D") == 3
+    assert cc.graph.has_edge(cc.graph.get(1), cc.graph.get(2))
+
+    # t3: T3 reads D from T1 (D = 3) -> dependency T1 -> T3.
+    t3 = cc.begin(3)
+    assert cc.read(t3, "D") == 3
+    assert cc.graph.has_edge(cc.graph.get(1), cc.graph.get(3))
+
+    # t4: T3 commit request waits for T1 (execution order still empty).
+    assert cc.finish(t3) is False
+    assert cc.graph.get(3).status is NodeStatus.FINISHED
+    assert cc.execution_order() == []
+
+    # t5: T1 writes D = 5 again -> aborts T2 and T3 (stale reads).
+    cc.write(t1, "D", 5)
+    assert cc.graph.get(2).status is NodeStatus.ABORTED
+    assert cc.graph.get(3).status is NodeStatus.ABORTED
+
+    # t6: T3 re-executes and reads D = 5 from T1.
+    t3 = cc.begin(3)
+    assert cc.read(t3, "D") == 5
+    assert cc.graph.has_edge(cc.graph.get(1), cc.graph.get(3))
+
+    # t7: T1 commits -> execution order {T1}.
+    assert cc.finish(t1) is True
+    assert cc.execution_order() == [1]
+
+    # t8: T3 commits -> execution order {T1, T3}.
+    assert cc.finish(t3) is True
+    assert cc.execution_order() == [1, 3]
+
+    # t9: T2's next operation is invalid (it was aborted at t5) and the
+    # executor must re-execute.
+    with pytest.raises(TransactionAborted):
+        cc.write(t2, "D", 3)
+
+    # t10: T2 re-executes, reading D = 5 (T1's committed value).
+    t2 = cc.begin(2)
+    assert cc.read(t2, "D") == 5
+
+    # t11: T2 writes D = 2.
+    cc.write(t2, "D", 2)
+
+    # t12: T2 commits -> execution order {T1, T3, T2}.
+    assert cc.finish(t2) is True
+    assert cc.execution_order() == [1, 3, 2]
+    assert cc.final_writes() == {"D": 2}

@@ -1,0 +1,94 @@
+"""Unit tests for metrics collection and report formatting."""
+
+import pytest
+
+from repro.metrics import MetricsCollector, format_series, format_table
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector()
+
+
+def test_record_execution_dedupes(collector):
+    assert collector.record_execution(1, "single", 0.0, 1.0)
+    assert not collector.record_execution(1, "single", 0.0, 2.0)
+    assert collector.executed_count() == 1
+
+
+def test_counts_by_kind(collector):
+    collector.record_execution(1, "single", 0.0, 1.0)
+    collector.record_execution(2, "cross", 0.0, 1.0)
+    collector.record_execution(3, "single", 0.0, 1.0)
+    assert collector.executed_count("single") == 2
+    assert collector.executed_count("cross") == 1
+    assert collector.executed_count() == 3
+
+
+def test_throughput(collector):
+    for i in range(10):
+        collector.record_execution(i, "single", 0.0, 1.0)
+    assert collector.throughput(2.0) == 5.0
+    assert collector.throughput(0.0) == 0.0
+
+
+def test_latency_stats(collector):
+    for i, latency in enumerate([0.1, 0.2, 0.3, 0.4]):
+        collector.record_execution(i, "single", 0.0, latency)
+    assert collector.mean_latency() == pytest.approx(0.25)
+    assert collector.percentile_latency(0.0) == pytest.approx(0.1)
+    assert collector.percentile_latency(0.99) == pytest.approx(0.4)
+
+
+def test_latency_empty(collector):
+    assert collector.mean_latency() == 0.0
+    assert collector.percentile_latency(0.5) == 0.0
+
+
+def test_latencies_by_kind(collector):
+    collector.record_execution(1, "single", 0.0, 0.1)
+    collector.record_execution(2, "cross", 0.0, 0.5)
+    assert collector.latencies("cross") == [0.5]
+    assert collector.mean_latency("single") == pytest.approx(0.1)
+
+
+def test_commit_recording(collector):
+    collector.record_commit(0, 1, 0.5, kind="normal")
+    collector.record_commit(0, 2, 0.6, kind="shift")
+    assert collector.blocks_committed == 2
+    assert collector.blocks_by_kind == {"normal": 1, "shift": 1}
+
+
+def test_commit_runtime_windows(collector):
+    for i in range(10):
+        collector.record_commit(0, i, float(i))
+    windows = collector.commit_runtime_per_window(window=5)
+    assert len(windows) == 2
+    # commits are 1 second apart: each window averages ~1 s per commit
+    assert windows[0][1] == pytest.approx(0.8)  # first window has no prior
+    assert windows[1][1] == pytest.approx(1.0)
+
+
+def test_reconfiguration_recording(collector):
+    collector.record_reconfiguration(1, 5.0)
+    assert collector.reconfigurations == [(1, 5.0)]
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "tps"], [["a", 1000.0], ["bbb", 12.5]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "tps" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_series():
+    text = format_series("thunderbolt", [8, 16], [1000.0, 2000.0])
+    assert text.startswith("thunderbolt:")
+    assert "8=1,000" in text and "16=2,000" in text
+
+
+def test_format_small_floats():
+    text = format_series("lat", [1], [0.00123])
+    assert "0.00123" in text

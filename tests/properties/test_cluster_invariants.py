@@ -1,0 +1,56 @@
+"""Property-based cluster invariants.
+
+Randomised cluster configurations (replica counts, batch sizes, cross-shard
+ratios, reconfiguration periods, seeds) must always satisfy the safety
+properties: prefix-consistent commit logs, convergent state at equal log
+lengths, zero validation failures with honest replicas, and conservation of
+SmallBank money.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ThunderboltConfig
+from repro.core.cluster import Cluster
+from repro.workloads import WorkloadConfig
+
+SETTINGS = settings(max_examples=5, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def cluster_setups(draw):
+    n = draw(st.sampled_from([4, 7]))
+    seed = draw(st.integers(0, 1000))
+    cross = draw(st.sampled_from([0.0, 0.1, 0.4]))
+    k_prime = draw(st.sampled_from([None, 20]))
+    engine = draw(st.sampled_from(["ce", "occ"]))
+    config = ThunderboltConfig(n_replicas=n, batch_size=8, seed=seed,
+                               engine=engine, k_prime=k_prime,
+                               k_silent=10 if k_prime else 8)
+    workload = WorkloadConfig(accounts=40 * n, read_probability=0.4,
+                              cross_shard_ratio=cross)
+    return config, workload
+
+
+@given(cluster_setups())
+@SETTINGS
+def test_cluster_safety_invariants(setup):
+    config, workload = setup
+    cluster = Cluster(config, workload)
+    result = cluster.run(0.35, drain=0.25)
+    # liveness
+    assert result.executed > 0
+    # §4: honest preplay always validates
+    assert result.validation_failures == 0
+    # safety: total order agreement
+    assert cluster.logs_prefix_consistent()
+    # state convergence at equal log lengths
+    checksums = {}
+    for _rid, (log_len, checksum) in cluster.state_checksums().items():
+        checksums.setdefault(log_len, set()).add(checksum)
+    for log_len, sums in checksums.items():
+        assert len(sums) == 1, f"divergence at log length {log_len}"
+    # conservation: the most advanced replica's balances sum correctly
+    replica = max(cluster.replicas, key=lambda r: len(r.commit_log))
+    total = sum(value for _, value in replica.store.scan())
+    assert total == workload.accounts * 20_000

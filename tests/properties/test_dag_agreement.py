@@ -1,0 +1,127 @@
+"""Property-based tests: Tusk total-order agreement.
+
+Whatever subsets of authors participate per round and whatever order
+vertices arrive in, every replica that processes the same certified DAG
+must commit the same blocks in the same order (the §2 consistency +
+completeness properties through the commit rule)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto import (CertificateBuilder, KeyPair, KeyRegistry,
+                          quorum_size, vote_message)
+from repro.dag import Block, BlockKind, DagStore, TuskConsensus, Vertex
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+N = 4
+_REGISTRY = KeyRegistry()
+_PAIRS = [KeyPair.generate(i, 77) for i in range(N)]
+for _pair in _PAIRS:
+    _REGISTRY.register(_pair)
+
+
+def certify(block):
+    builder = CertificateBuilder(block.digest, block.author,
+                                 block.round_number, N)
+    for pair in _PAIRS[:quorum_size(N)]:
+        builder.add_vote(pair.sign(vote_message(
+            block.digest, block.author, block.round_number)), _REGISTRY)
+    return Vertex(block=block, certificate=builder.build())
+
+
+@st.composite
+def random_dags(draw):
+    """A certified DAG where each round has a random >= 2f+1 author subset
+    and each block references a random >= 2f+1 subset of the previous
+    round."""
+    n_rounds = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = random.Random(seed)
+    quorum = quorum_size(N)
+    vertices = []
+    previous = []
+    for round_number in range(n_rounds):
+        authors = sorted(rng.sample(range(N), rng.randint(quorum, N)))
+        current = []
+        for author in authors:
+            if round_number == 0:
+                parents = ()
+            else:
+                k = rng.randint(quorum, len(previous))
+                parents = tuple(v.digest
+                                for v in sorted(rng.sample(previous, k),
+                                                key=lambda v: v.author))
+            block = Block(author=author, shard=author, epoch=0,
+                          round_number=round_number, kind=BlockKind.NORMAL,
+                          parents=parents)
+            current.append(certify(block))
+        vertices.extend(current)
+        previous = current
+    return vertices, seed
+
+
+def committed_sequence(vertices, shuffle_seed):
+    store = DagStore(epoch=0)
+    consensus = TuskConsensus(N, 0)
+    ordered = vertices[:]
+    random.Random(shuffle_seed).shuffle(ordered)
+    sequence = []
+    for vertex in ordered:
+        store.insert(vertex)
+        for event in consensus.advance(store):
+            sequence.extend(v.digest for v in event.delivered)
+    return sequence
+
+
+@given(random_dags(), st.integers(0, 1000), st.integers(0, 1000))
+@SETTINGS
+def test_agreement_across_insertion_orders(dag, seed_a, seed_b):
+    vertices, _ = dag
+    assert committed_sequence(vertices, seed_a) == \
+        committed_sequence(vertices, seed_b)
+
+
+@given(random_dags(), st.integers(0, 1000))
+@SETTINGS
+def test_no_double_commit(dag, shuffle_seed):
+    vertices, _ = dag
+    sequence = committed_sequence(vertices, shuffle_seed)
+    assert len(sequence) == len(set(sequence))
+
+
+@given(random_dags(), st.integers(0, 1000))
+@SETTINGS
+def test_commit_respects_causality(dag, shuffle_seed):
+    """A block never commits before any block in its causal history."""
+    vertices, _ = dag
+    by_digest = {v.digest: v for v in vertices}
+    sequence = committed_sequence(vertices, shuffle_seed)
+    position = {digest: i for i, digest in enumerate(sequence)}
+    for digest in sequence:
+        for parent in by_digest[digest].block.parents:
+            if parent in position:
+                assert position[parent] < position[digest]
+
+
+@given(random_dags())
+@SETTINGS
+def test_prefix_property_under_partial_delivery(dag):
+    """Processing only a prefix of the vertices yields a prefix of the
+    full commit sequence (safety under lag)."""
+    vertices, seed = dag
+    full = committed_sequence(vertices, 0)
+    rng = random.Random(seed)
+    cut = rng.randint(0, len(vertices))
+    ordered = vertices[:]
+    random.Random(0).shuffle(ordered)
+    store = DagStore(epoch=0)
+    consensus = TuskConsensus(N, 0)
+    partial = []
+    for vertex in ordered[:cut]:
+        store.insert(vertex)
+        for event in consensus.advance(store):
+            partial.extend(v.digest for v in event.delivered)
+    assert partial == full[:len(partial)]

@@ -1,0 +1,91 @@
+"""Unit tests for the simulation environment/clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero(env):
+    assert env.now == 0.0
+
+
+def test_initial_time():
+    assert Environment(initial_time=10).now == 10
+
+
+def test_run_until_advances_clock_without_events(env):
+    env.run(until=5)
+    assert env.now == 5
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_run_stops_at_until(env):
+    fired = []
+    t1 = env.timeout(1)
+    t1.callbacks.append(lambda e: fired.append(1))
+    t2 = env.timeout(10)
+    t2.callbacks.append(lambda e: fired.append(10))
+    env.run(until=5)
+    assert fired == [1]
+    assert env.now == 5
+
+
+def test_run_drains_queue(env):
+    env.timeout(1)
+    env.timeout(2)
+    env.run()
+    assert env.now == 2
+
+
+def test_step_on_empty_queue_raises(env):
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_returns_next_time(env):
+    env.timeout(3)
+    env.timeout(1)
+    assert env.peek() == 1
+
+
+def test_peek_empty_is_inf(env):
+    assert env.peek() == float("inf")
+
+
+def test_same_time_events_fifo(env):
+    order = []
+    for i in range(5):
+        t = env.timeout(1, i)
+        t.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_schedule_into_past_rejected(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        env.schedule(event, delay=-1)
+
+
+def test_determinism_across_runs():
+    def build():
+        env = Environment()
+        trace = []
+
+        def worker(name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                trace.append((name, env.now))
+
+        env.process(worker("a", 1.0))
+        env.process(worker("b", 1.0))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,223 @@
+"""Unit tests for the DES event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+def test_event_starts_pending(env):
+    event = env.event()
+    assert not event.triggered
+    assert not event.processed
+
+
+def test_event_value_before_trigger_raises(env):
+    with pytest.raises(SimulationError):
+        env.event().value
+
+
+def test_succeed_sets_value(env):
+    event = env.event().succeed(42)
+    assert event.triggered
+    assert event.value == 42
+    assert event.ok
+
+
+def test_double_succeed_raises(env):
+    event = env.event().succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+
+
+def test_fail_requires_exception(env):
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_fail_marks_not_ok(env):
+    event = env.event().fail(ValueError("boom"))
+    assert event.triggered
+    assert not event.ok
+
+
+def test_unwaited_failure_propagates(env):
+    env.event().fail(ValueError("boom"))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_timeout_fires_at_delay(env):
+    t = env.timeout(5.0, value="done")
+    env.run()
+    assert env.now == 5.0
+    assert t.value == "done"
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_requires_generator(env):
+    def not_a_generator():
+        return 3
+    with pytest.raises(SimulationError):
+        env.process(not_a_generator())
+
+
+def test_process_returns_value(env):
+    def proc():
+        yield env.timeout(1)
+        return "result"
+    p = env.process(proc())
+    env.run()
+    assert p.value == "result"
+
+
+def test_process_waits_for_process(env):
+    def child():
+        yield env.timeout(3)
+        return 7
+
+    def parent():
+        value = yield env.process(child())
+        return value * 2
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == 14
+    assert env.now == 3
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def child():
+        yield env.timeout(1)
+        raise RuntimeError("child failed")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "child failed"
+
+
+def test_yielding_non_event_raises(env):
+    def proc():
+        yield 42
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_yield_already_processed_event_resumes_immediately(env):
+    done = env.event()
+    done.succeed("early")
+
+    def proc():
+        # process the event first
+        yield env.timeout(1)
+        value = yield done
+        return value
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "early"
+
+
+def test_is_alive(env):
+    def proc():
+        yield env.timeout(2)
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_interrupt_raises_in_process(env):
+    caught = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            caught.append((interrupt.cause, env.now))
+
+    def attacker(target):
+        yield env.timeout(1)
+        target.interrupt("reason")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    # interrupted at t=1, long before the original timeout would fire
+    assert caught == [("reason", 1.0)]
+
+
+def test_interrupt_finished_process_raises(env):
+    def proc():
+        yield env.timeout(1)
+    p = env.process(proc())
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_all_of_collects_values(env):
+    def proc():
+        values = yield AllOf(env, [env.timeout(1, "a"), env.timeout(3, "b")])
+        return values
+    p = env.process(proc())
+    env.run()
+    assert p.value == ["a", "b"]
+    assert env.now == 3
+
+
+def test_all_of_empty_triggers_immediately(env):
+    event = AllOf(env, [])
+    assert event.triggered
+    assert event.value == []
+
+
+def test_any_of_returns_winner(env):
+    def proc():
+        slow = env.timeout(10, "slow")
+        fast = env.timeout(1, "fast")
+        winner, value = yield AnyOf(env, [slow, fast])
+        return value
+    p = env.process(proc())
+    env.run(until=2)
+    assert p.value == "fast"
+
+
+def test_any_of_empty_rejected(env):
+    with pytest.raises(SimulationError):
+        AnyOf(env, [])
+
+
+def test_any_of_failure_propagates(env):
+    def proc():
+        bad = env.event()
+        bad.fail(ValueError("x"))
+        try:
+            yield AnyOf(env, [bad, env.timeout(5)])
+        except ValueError:
+            return "caught"
+    p = env.process(proc())
+    env.run()
+    assert p.value == "caught"
+
+
+def test_events_from_other_environment_rejected(env):
+    other = Environment()
+
+    def proc():
+        yield other.timeout(1)
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()

@@ -1,0 +1,141 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.sim import (Environment, LatencyModel, Network, drop_from,
+                       drop_kind_from, make_rng)
+
+
+def make_net(env, n=4, latency=None, **kwargs):
+    return Network(env, n, latency or LatencyModel.fixed(0.001),
+                   make_rng(0), **kwargs)
+
+
+def test_network_requires_replicas(env):
+    with pytest.raises(NetworkError):
+        make_net(env, n=0)
+
+
+def test_send_delivers_after_latency(env):
+    net = make_net(env)
+    net.send(0, 1, "ping", {"x": 1})
+    assert len(net.inbox(1)) == 0
+    env.run()
+    assert env.now == pytest.approx(0.001)
+    message = net.inbox(1).try_get()
+    assert message.kind == "ping"
+    assert message.payload == {"x": 1}
+    assert message.sender == 0
+
+
+def test_send_validates_ids(env):
+    net = make_net(env)
+    with pytest.raises(NetworkError):
+        net.send(0, 9, "x", None)
+    with pytest.raises(NetworkError):
+        net.send(-1, 0, "x", None)
+
+
+def test_broadcast_reaches_everyone_including_self(env):
+    net = make_net(env)
+    net.broadcast(2, "blk", "payload")
+    env.run()
+    for replica in range(4):
+        assert len(net.inbox(replica)) == 1
+
+
+def test_broadcast_exclude_self(env):
+    net = make_net(env)
+    net.broadcast(2, "blk", "payload", include_self=False)
+    env.run()
+    assert len(net.inbox(2)) == 0
+    assert len(net.inbox(0)) == 1
+
+
+def test_multicast_subset(env):
+    net = make_net(env)
+    net.multicast(0, [1, 3], "m", None)
+    env.run()
+    assert len(net.inbox(1)) == 1
+    assert len(net.inbox(2)) == 0
+    assert len(net.inbox(3)) == 1
+
+
+def test_filter_drops_messages(env):
+    net = make_net(env)
+    net.add_filter(drop_from([1]))
+    net.send(1, 0, "x", None)
+    net.send(2, 0, "x", None)
+    env.run()
+    assert len(net.inbox(0)) == 1
+    assert net.messages_dropped == 1
+
+
+def test_filter_removal(env):
+    net = make_net(env)
+    f = drop_from([1])
+    net.add_filter(f)
+    net.remove_filter(f)
+    net.send(1, 0, "x", None)
+    env.run()
+    assert len(net.inbox(0)) == 1
+
+
+def test_drop_kind_from_only_drops_kind(env):
+    net = make_net(env)
+    net.add_filter(drop_kind_from([1], "proposal"))
+    net.send(1, 0, "proposal", None)
+    net.send(1, 0, "vote", None)
+    env.run()
+    assert len(net.inbox(0)) == 1
+    assert net.inbox(0).try_get().kind == "vote"
+
+
+def test_pre_gst_extra_delay(env):
+    net = make_net(env, gst=10.0, pre_gst_extra_delay=0.5)
+    net.send(0, 1, "early", None)
+    env.run()
+    first_delivery = net.inbox(1).try_get()
+    assert first_delivery.delivered_at == pytest.approx(0.501)
+
+
+def test_post_gst_normal_latency():
+    env = Environment(initial_time=20.0)
+    net = make_net(env, gst=10.0, pre_gst_extra_delay=0.5)
+    net.send(0, 1, "late", None)
+    env.run()
+    assert net.inbox(1).try_get().delivered_at == pytest.approx(20.001)
+
+
+def test_latency_presets_ordering():
+    lan, wan = LatencyModel.lan(), LatencyModel.wan()
+    assert wan.mean > 10 * lan.mean
+
+
+def test_latency_sample_positive():
+    model = LatencyModel(mean=0.001, stddev=0.1)
+    rng = make_rng(0)
+    assert all(model.sample(rng) > 0 for _ in range(100))
+
+
+def test_message_counters(env):
+    net = make_net(env)
+    net.broadcast(0, "x", None)
+    env.run()
+    assert net.messages_sent == 4
+    assert net.messages_delivered == 4
+
+
+def test_inbox_blocking_consumer(env):
+    net = make_net(env)
+    received = []
+
+    def consumer():
+        message = yield net.inbox(1).get()
+        received.append(message.payload)
+
+    env.process(consumer())
+    net.send(0, 1, "k", "hello")
+    env.run()
+    assert received == ["hello"]

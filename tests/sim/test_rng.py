@@ -1,0 +1,94 @@
+"""Unit tests for seeded RNG helpers and the Zipfian sampler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import ZipfGenerator, derive_rng, make_rng, weighted_choice
+
+
+def test_make_rng_deterministic():
+    assert make_rng(7).random() == make_rng(7).random()
+
+
+def test_derive_rng_differs_by_salt():
+    base = make_rng(1)
+    a = derive_rng(base, 1)
+    base2 = make_rng(1)
+    b = derive_rng(base2, 2)
+    assert a.random() != b.random()
+
+
+def test_zipf_rejects_bad_population():
+    with pytest.raises(ConfigError):
+        ZipfGenerator(0, 0.5, make_rng(0))
+
+
+def test_zipf_rejects_negative_theta():
+    with pytest.raises(ConfigError):
+        ZipfGenerator(10, -0.1, make_rng(0))
+
+
+def test_zipf_range():
+    z = ZipfGenerator(50, 0.9, make_rng(3))
+    samples = [z.sample() for _ in range(2000)]
+    assert min(samples) >= 0
+    assert max(samples) < 50
+
+
+def test_zipf_skew_prefers_low_ranks():
+    z = ZipfGenerator(100, 0.99, make_rng(5))
+    samples = [z.sample() for _ in range(5000)]
+    head = sum(1 for s in samples if s < 10)
+    tail = sum(1 for s in samples if s >= 90)
+    assert head > 5 * max(1, tail)
+
+
+def test_zipf_theta_zero_is_roughly_uniform():
+    z = ZipfGenerator(10, 0.0, make_rng(4))
+    counts = [0] * 10
+    for _ in range(10000):
+        counts[z.sample()] += 1
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_higher_theta_more_skewed():
+    def top1_share(theta):
+        z = ZipfGenerator(100, theta, make_rng(9))
+        samples = [z.sample() for _ in range(5000)]
+        return samples.count(0) / len(samples)
+
+    assert top1_share(0.95) > top1_share(0.5)
+
+
+def test_zipf_single_item():
+    z = ZipfGenerator(1, 0.85, make_rng(1))
+    assert z.sample() == 0
+
+
+def test_sample_distinct_returns_distinct():
+    z = ZipfGenerator(20, 0.85, make_rng(2))
+    for _ in range(100):
+        pair = z.sample_distinct(2)
+        assert len(set(pair)) == 2
+
+
+def test_sample_distinct_too_many_raises():
+    z = ZipfGenerator(3, 0.5, make_rng(2))
+    with pytest.raises(ConfigError):
+        z.sample_distinct(4)
+
+
+def test_weighted_choice_respects_weights():
+    rng = make_rng(11)
+    picks = [weighted_choice(rng, ["a", "b"], [9, 1]) for _ in range(2000)]
+    assert picks.count("a") > 1500
+
+
+def test_weighted_choice_validates_lengths():
+    with pytest.raises(ConfigError):
+        weighted_choice(make_rng(0), ["a"], [1, 2])
+
+
+def test_weighted_choice_rejects_zero_total():
+    with pytest.raises(ConfigError):
+        weighted_choice(make_rng(0), ["a"], [0])

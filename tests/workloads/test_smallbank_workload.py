@@ -1,0 +1,139 @@
+"""Unit tests for the SmallBank workload generator."""
+
+import pytest
+
+from repro.contracts import smallbank
+from repro.core import ShardMap
+from repro.errors import ConfigError
+from repro.workloads import SmallBankWorkload, WorkloadConfig
+
+
+def make(shard=None, n_shards=4, **kwargs):
+    defaults = dict(accounts=100)
+    defaults.update(kwargs)
+    config = WorkloadConfig(**defaults)
+    return SmallBankWorkload(config, ShardMap(n_shards), seed=1, shard=shard)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        WorkloadConfig(accounts=1)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(read_probability=1.5)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(cross_shard_ratio=-0.1)
+    with pytest.raises(ConfigError):
+        WorkloadConfig(payment_max=0)
+
+
+def test_tx_ids_unique_and_strided():
+    config = WorkloadConfig(accounts=100)
+    stream = SmallBankWorkload(config, ShardMap(4), seed=1, start_tx_id=2,
+                               tx_id_stride=4)
+    ids = [stream.next_transaction().tx_id for _ in range(10)]
+    assert ids == list(range(2, 42, 4))
+
+
+def test_read_probability_mix():
+    stream = make(read_probability=0.7, n_shards=1)
+    txs = stream.batch(2000)
+    reads = sum(1 for tx in txs if tx.contract == smallbank.GET_BALANCE)
+    assert 0.6 < reads / len(txs) < 0.8
+
+
+def test_all_writes_when_pr_zero():
+    stream = make(read_probability=0.0, n_shards=1)
+    txs = stream.batch(100)
+    assert all(tx.contract == smallbank.SEND_PAYMENT for tx in txs)
+
+
+def test_all_reads_when_pr_one():
+    stream = make(read_probability=1.0, n_shards=1, cross_shard_ratio=0.0)
+    txs = stream.batch(100)
+    assert all(tx.contract == smallbank.GET_BALANCE for tx in txs)
+
+
+def test_single_shard_transactions_stay_in_shard():
+    stream = make(shard=2, read_probability=0.3, cross_shard_ratio=0.0)
+    shard_map = ShardMap(4)
+    for tx in stream.batch(200):
+        assert tx.shard_ids == (2,)
+        for account in _accounts_of(tx):
+            assert shard_map.shard_of_account(account) == 2
+
+
+def test_cross_shard_transactions_span_two_shards():
+    stream = make(shard=1, read_probability=0.0, cross_shard_ratio=1.0)
+    for tx in stream.batch(100):
+        assert len(tx.shard_ids) == 2
+        assert 1 in tx.shard_ids
+
+
+def test_cross_shard_ratio_approximate():
+    stream = make(shard=0, read_probability=0.0, cross_shard_ratio=0.3)
+    txs = stream.batch(2000)
+    cross = sum(1 for tx in txs if len(tx.shard_ids) == 2)
+    assert 0.2 < cross / len(txs) < 0.4
+
+
+def test_global_mode_cross_pair_spans_shards():
+    stream = make(read_probability=0.0, cross_shard_ratio=1.0)
+    shard_map = ShardMap(4)
+    for tx in stream.batch(50):
+        a, b = tx.args[0], tx.args[1]
+        assert shard_map.shard_of_account(a) != shard_map.shard_of_account(b)
+
+
+def test_payment_amounts_bounded():
+    stream = make(read_probability=0.0, payment_max=10, n_shards=1)
+    for tx in stream.batch(200):
+        assert 1 <= tx.args[2] <= 10
+
+
+def test_deterministic_given_seed():
+    def build():
+        stream = make(shard=0, read_probability=0.5)
+        return [(tx.contract, tx.args) for tx in stream.batch(50)]
+    assert build() == build()
+
+
+def test_zipf_skew_visible():
+    stream = make(shard=0, theta=0.99, read_probability=1.0,
+                  cross_shard_ratio=0.0)
+    accounts = [tx.args[0] for tx in stream.batch(2000)]
+    top = max(set(accounts), key=accounts.count)
+    assert accounts.count(top) > len(accounts) * 0.2
+
+
+def test_extended_mix_covers_all_types():
+    stream = make(shard=0, extended_mix=True)
+    contracts = {tx.contract for tx in stream.batch(1000)}
+    assert contracts == set(smallbank.ALL_CONTRACTS)
+
+
+def test_extended_mix_cross_shard():
+    stream = make(shard=0, extended_mix=True, cross_shard_ratio=1.0)
+    txs = stream.batch(300)
+    two_account = [tx for tx in txs
+                   if tx.contract in (smallbank.SEND_PAYMENT,
+                                      smallbank.AMALGAMATE)]
+    assert two_account
+    for tx in two_account:
+        assert len(tx.shard_ids) == 2
+
+
+def test_shard_out_of_range_rejected():
+    with pytest.raises(ConfigError):
+        make(shard=9)
+
+
+def test_tiny_shard_population_rejected():
+    config = WorkloadConfig(accounts=4)
+    with pytest.raises(ConfigError):
+        SmallBankWorkload(config, ShardMap(4), seed=0, shard=0)
+
+
+def _accounts_of(tx):
+    if tx.contract in (smallbank.SEND_PAYMENT, smallbank.AMALGAMATE):
+        return tx.args[:2]
+    return tx.args[:1]

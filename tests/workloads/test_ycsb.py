@@ -1,0 +1,109 @@
+"""Unit tests for the YCSB-style workload extension."""
+
+import pytest
+
+from repro.ce import CEConfig, CERunner
+from repro.contracts import ContractRegistry, run_inline
+from repro.core import ShardMap
+from repro.errors import ConfigError
+from repro.sim import Environment, make_rng
+from repro.workloads import YCSBConfig, YCSBWorkload, register_ycsb
+from repro.workloads.ycsb import (YCSB_READ, YCSB_RMW, YCSB_UPDATE,
+                                  initial_state, record_key,
+                                  ycsb_read_modify_write)
+
+
+def make_registry():
+    registry = ContractRegistry()
+    register_ycsb(registry)
+    return registry
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        YCSBConfig(records=1)
+    with pytest.raises(ConfigError):
+        YCSBConfig(read_fraction=0.8, update_fraction=0.5)
+    with pytest.raises(ConfigError):
+        YCSBConfig(read_fraction=-0.1)
+
+
+def test_workload_letters():
+    assert YCSBConfig.workload_b().read_fraction == 0.95
+    assert YCSBConfig.workload_f().rmw_fraction == pytest.approx(0.5)
+
+
+def test_contracts_execute():
+    registry = make_registry()
+    state = initial_state(10, value=5)
+    record = run_inline(registry.get(YCSB_RMW), (3, 7), state)
+    assert record.write_set == {record_key(3): 12}
+    record = run_inline(registry.get(YCSB_UPDATE), (4, 99), state)
+    assert record.write_set == {record_key(4): 99}
+    assert record.read_set == {}
+    record = run_inline(registry.get(YCSB_READ), (1, 2), state)
+    assert record.result["values"] == {1: 5, 2: 5}
+
+
+def test_mix_fractions_respected():
+    config = YCSBConfig.workload_b(records=500)
+    workload = YCSBWorkload(config, ShardMap(1), seed=3)
+    txs = workload.batch(2000)
+    reads = sum(1 for tx in txs if tx.contract == YCSB_READ)
+    assert 0.9 < reads / len(txs) < 0.99
+
+
+def test_rmw_fraction():
+    config = YCSBConfig.workload_f(records=500)
+    workload = YCSBWorkload(config, ShardMap(1), seed=3)
+    txs = workload.batch(1000)
+    rmw = sum(1 for tx in txs if tx.contract == YCSB_RMW)
+    assert 0.4 < rmw / len(txs) < 0.6
+
+
+def test_per_shard_records_stay_local():
+    config = YCSBConfig(records=100, cross_shard_ratio=0.0)
+    workload = YCSBWorkload(config, ShardMap(4), seed=1, shard=2)
+    for tx in workload.batch(200):
+        assert tx.shard_ids == (2,)
+
+
+def test_cross_shard_reads_span_shards():
+    config = YCSBConfig(records=100, read_fraction=1.0, update_fraction=0.0,
+                        cross_shard_ratio=1.0)
+    workload = YCSBWorkload(config, ShardMap(4), seed=1, shard=0)
+    cross = [tx for tx in workload.batch(100) if len(tx.shard_ids) == 2]
+    assert cross  # cross-shard reads were generated
+    for tx in cross:
+        assert 0 in tx.shard_ids
+
+
+def test_deterministic():
+    def build():
+        workload = YCSBWorkload(YCSBConfig(records=100), ShardMap(2),
+                                seed=5, shard=0)
+        return [(tx.contract, tx.args) for tx in workload.batch(50)]
+    assert build() == build()
+
+
+def test_ycsb_through_concurrent_executor():
+    """End-to-end: the CE executes a YCSB batch serializably."""
+    registry = make_registry()
+    config = YCSBConfig.workload_a(records=50, theta=0.9)
+    workload = YCSBWorkload(config, ShardMap(1), seed=7)
+    txs = workload.batch(80)
+    state = initial_state(50, value=10)
+    env = Environment()
+    runner = CERunner(registry, CEConfig(executors=8), make_rng(11))
+    proc = runner.run_batch(env, txs, state)
+    env.run()
+    result = proc.value
+    assert len(result.committed) == 80
+    replay = dict(state)
+    by_id = {tx.tx_id: tx for tx in txs}
+    for entry in result.committed:
+        tx = by_id[entry.tx_id]
+        record = run_inline(registry.get(tx.contract), tx.args, replay)
+        assert record.read_set == entry.read_set
+        assert record.write_set == entry.write_set
+        replay.update(record.write_set)
