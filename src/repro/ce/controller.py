@@ -38,6 +38,15 @@ R4 (commit): when T commits, every other live writer of each key T wrote
     receives a write-write edge ``T -> v`` (Write-Complete, Def. 5: commit
     order is write order).  This edge can never cycle because v could not
     have committed, hence no path v -> T existed through committed nodes.
+
+Every rule above is phrased in terms of ``DependencyGraph.has_path``; the
+graph answers those queries from an incremental transitive-closure index
+(O(1) bit test per query, Italiano-style propagation on ``add_edge``, lazy
+generation-counter rebuild after an abort detaches a node — see the
+:mod:`repro.ce.depgraph` module docstring for the invalidation strategy and
+complexity).  :class:`CCStats` surfaces the query volume as
+``path_queries`` and the abort-driven invalidation rate as
+``index_rebuilds``.
 """
 
 from __future__ import annotations
@@ -60,6 +69,8 @@ class CCStats:
     cascading_aborts: int = 0
     commits: int = 0
     conflict_repairs: int = 0  # reads repaired by the ancestor fallback
+    path_queries: int = 0      # has_path() calls answered by the index
+    index_rebuilds: int = 0    # lazy closure rebuilds after aborts
 
 
 @dataclass
@@ -100,7 +111,14 @@ class ConcurrencyController:
         self._committed: List[CommittedTx] = []
         self._attempts: Dict[int, int] = {}
         self._finish_time = 0.0
-        self.stats = CCStats()
+        self._stats = CCStats()
+
+    @property
+    def stats(self) -> CCStats:
+        """Live counters; graph-owned index counters are synced on access."""
+        self._stats.path_queries = self.graph.path_queries
+        self._stats.index_rebuilds = self.graph.index_rebuilds
+        return self._stats
 
     # ------------------------------------------------------------------ API
 
@@ -115,7 +133,7 @@ class ConcurrencyController:
     def read(self, node: TxNode, key: str) -> Any:
         """Perform ``<Read, key>`` for ``node``; returns the value."""
         self._require_live(node, "read")
-        self.stats.reads += 1
+        self._stats.reads += 1
         record = node.records.get(key)
         if record is not None and (record.has_read or record.wrote):
             # §8.3: the node already holds the value for this key.
@@ -135,7 +153,7 @@ class ConcurrencyController:
     def write(self, node: TxNode, key: str, value: Any) -> None:
         """Perform ``<Write, key, value>`` for ``node``."""
         self._require_live(node, "write")
-        self.stats.writes += 1
+        self._stats.writes += 1
         record = node.records.get(key)
         if record is not None and record.wrote:
             # R3: repeated write — readers of our previous value are stale.
@@ -220,7 +238,7 @@ class ConcurrencyController:
         for writer in reversed(writers):
             if not self.graph.has_path(node, writer):
                 return writer.records[key].last_write, writer
-            self.stats.conflict_repairs += 1
+            self._stats.conflict_repairs += 1
         return self.read_root(key), None
 
     def _pin_other_writers(self, node: TxNode, key: str,
@@ -319,7 +337,7 @@ class ConcurrencyController:
             raise SerializationError(
                 f"attempted to abort committed transaction {node.tx_id}")
         node.status = NodeStatus.ABORTED
-        self.stats.aborts += 1
+        self._stats.aborts += 1
         # Readers of any of our writes saw data that will never exist.
         dependants: List[TxNode] = []
         for record in node.records.values():
@@ -331,7 +349,7 @@ class ConcurrencyController:
             self._on_abort(node.tx_id)
         for dependant in dependants:
             if dependant.status is not NodeStatus.ABORTED:
-                self.stats.cascading_aborts += 1
+                self._stats.cascading_aborts += 1
                 self._abort_inner(dependant,
                                   f"cascade from {node.tx_id}", unblocked)
 
@@ -350,7 +368,7 @@ class ConcurrencyController:
         node.order_index = self._order_counter
         self._order_counter += 1
         node.committed_at = now
-        self.stats.commits += 1
+        self._stats.commits += 1
         write_set = node.write_set()
         self._overlay.update(write_set)
         entry = CommittedTx(

@@ -17,13 +17,43 @@ This module is purely structural: it stores nodes/edges/indexes and answers
 reachability queries.  The *rules* that decide which edges to add live in
 :mod:`repro.ce.controller`.
 
+Incremental reachability index
+------------------------------
+``has_path`` is the controller's hottest query: every read pins the other
+writers of the key, every commit orders the remaining writers, and both walk
+the graph.  A DFS per query makes a contended batch of n transactions cost
+O(n^3); instead the graph maintains a transitive-closure index:
+
+* every currently-indexed node gets a small integer *serial* (per build
+  generation) and two Python-int bitsets — ``down`` (descendants, self
+  included) and ``up`` (ancestors, self included);
+* ``add_edge(u, v)`` updates the closure with Italiano-style propagation:
+  if ``v`` is not already a descendant of ``u``, OR ``down[v]`` into every
+  ancestor of ``u`` and ``up[u]`` into every descendant of ``v`` —
+  O((|up(u)| + |down(v)|) * V/w) word operations, nothing when the edge is
+  redundant;
+* ``detach_node`` (aborts) cannot be handled incrementally without a
+  decremental-reachability structure, so it just bumps a *generation
+  counter* — O(1) — and the next query lazily rebuilds the index from the
+  live adjacency in topological order, O(V + E) set unions.  Serials are
+  compacted at every rebuild so bitsets stay as dense as the live graph.
+* ``has_path`` is then a single bit test, O(1).
+
+The index is an exact mirror of the adjacency lists: answers are identical
+to the reference DFS (kept as :meth:`DependencyGraph._has_path_dfs` for
+tests and benchmarks), so controller behavior is bit-for-bit unchanged.
+``path_queries`` / ``index_rebuilds`` counters feed :class:`CCStats` so
+Fig. 11-style runs can report the query load and invalidation rate.
+
 Determinism note: all collections that the controller iterates are dicts
 used as ordered sets, so runs are reproducible (plain ``set`` of objects
-would iterate in address order).
+would iterate in address order).  Index serials follow dict insertion
+order and bitsets are plain ints, so the index is deterministic too.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -46,11 +76,14 @@ class EdgeKind(Enum):
     ANTI = "ar"
     PIN = "pin"
     WRITE_WRITE = "ww"
-    #: Added when an aborted node is detached: each (predecessor,
-    #: successor) pair is bridged so orderings other transactions already
-    #: observed through the departed node keep holding.  Without this, a
-    #: rule that skipped adding an edge because a path existed would be
-    #: unsound once the path's middle node aborts.
+    #: Added when an aborted node is detached: a (predecessor, successor)
+    #: pair across the departed node is bridged so orderings other
+    #: transactions already observed through it keep holding.  Without
+    #: this, a rule that skipped adding an edge because a path existed
+    #: would be unsound once the path's middle node aborts.  Pairs that
+    #: remain ordered through surviving nodes are *not* bridged (a
+    #: reachability check proves the path), keeping edge counts bounded
+    #: under abort storms.
     BRIDGE = "bridge"
 
 
@@ -87,7 +120,7 @@ class TxNode:
 
     __slots__ = ("tx_id", "attempt", "status", "records", "out_edges",
                  "in_edges", "order_index", "result", "started_at",
-                 "committed_at")
+                 "committed_at", "_index_serial", "_index_owner")
 
     def __init__(self, tx_id: int, attempt: int, started_at: float = 0.0) -> None:
         self.tx_id = tx_id
@@ -101,6 +134,13 @@ class TxNode:
         self.result: Any = None
         self.started_at = started_at
         self.committed_at: Optional[float] = None
+        #: Bit position in the owning graph's reachability index plus the
+        #: graph that assigned it; set on first edge contact.  A node is
+        #: normally indexed by one graph at a time — a query from a graph
+        #: that is not the current owner falls back to DFS, and the next
+        #: rebuild of that graph re-claims the node.
+        self._index_serial: Optional[int] = None
+        self._index_owner: Optional["DependencyGraph"] = None
 
     # -- key-level classification (§8.1) -----------------------------------
 
@@ -135,7 +175,8 @@ class TxNode:
 
 
 class DependencyGraph:
-    """Stores nodes, typed edges, and per-key access indexes."""
+    """Stores nodes, typed edges, per-key access indexes, and an incremental
+    transitive-closure index answering ``has_path`` in O(1)."""
 
     def __init__(self) -> None:
         #: Current attempt per transaction id.
@@ -144,6 +185,23 @@ class DependencyGraph:
         self._writers: Dict[str, Dict[TxNode, None]] = {}
         #: key -> nodes holding a read record on the key.
         self._readers: Dict[str, Dict[TxNode, None]] = {}
+        # -- reachability index state --------------------------------------
+        #: serial -> node for every node that ever touched an edge here;
+        #: ``None`` marks a detached (aborted) node's hole.  Serials are
+        #: permanent per graph, so nodes carry them in a slot and no
+        #: id()-keyed lookups are needed on the hot path.
+        self._indexed: List[Optional[TxNode]] = []
+        #: Invalidation generation; bumped by ``detach_node``.
+        self._gen = 0
+        #: Generation the bitsets below were built for; ``!= _gen`` means
+        #: the index is stale and the next query rebuilds it.
+        self._built_gen = -1
+        #: serial -> descendant / ancestor bitsets (self bit included).
+        self._down: List[int] = []
+        self._up: List[int] = []
+        #: Counters surfaced through :class:`repro.ce.controller.CCStats`.
+        self.path_queries = 0
+        self.index_rebuilds = 0
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -160,12 +218,23 @@ class DependencyGraph:
     def detach_node(self, node: TxNode) -> List[TxNode]:
         """Remove an aborted node from edges and indexes.
 
-        Every (predecessor, successor) pair across the departing node is
-        bridged with a ``BRIDGE`` edge: the controller's rules skip adding
-        an ordering edge whenever a path already exists, so paths observed
-        through this node must survive its departure.  Bridging cannot
-        create cycles (the path existed) and never touches other aborted
-        nodes (their adjacency must stay empty).
+        A (predecessor, successor) pair across the departing node is
+        bridged with a ``BRIDGE`` edge when no other path orders it: the
+        controller's rules skip adding an ordering edge whenever a path
+        already exists, so paths observed through this node must survive
+        its departure.  Pairs the reachability index already proves ordered
+        through surviving nodes are skipped — the transitive closure over
+        the remaining nodes is identical either way, but edge counts stay
+        bounded under abort-heavy workloads instead of densifying
+        quadratically.  Bridging cannot create cycles (the path existed)
+        and never touches other aborted nodes (their adjacency must stay
+        empty).
+
+        The index cannot cheaply *remove* a node's contribution, so this
+        bumps the generation counter (O(1)) and leaves the rebuild to the
+        next external ``has_path``; the bridge decisions below run on a
+        DFS over the post-removal adjacency instead of forcing a rebuild
+        per abort (cascades then cost one rebuild total, not one each).
 
         Returns the former out-neighbours (the controller re-checks their
         commit eligibility).  Read-from back-references are cleaned so the
@@ -189,11 +258,49 @@ class DependencyGraph:
             neighbor.out_edges.pop(node, None)
         node.out_edges.clear()
         node.in_edges.clear()
+        owner = node._index_owner
+        if owner is not None:
+            serial = node._index_serial
+            if serial is not None and serial < len(owner._indexed) \
+                    and owner._indexed[serial] is node:
+                owner._indexed[serial] = None
+            node._index_serial = None
+            node._index_owner = None
+            # Invalidate the graph whose bitsets carry this node's bit —
+            # the owner, which under hand-built sharing may not be us
+            # (plus ourselves, in case of an earlier claim).  An edge-less
+            # node was never indexed and skips this, so aborts of
+            # conflict-free transactions cost no rebuild.
+            owner._gen += 1
+            if owner is not self:
+                self._gen += 1
         for predecessor in predecessors:
+            if not successors:
+                break
+            # One incremental DFS per predecessor: ``reached`` holds the
+            # nodes reachable from it in the *current* graph (including
+            # bridges added for earlier successors), exactly mirroring a
+            # per-pair ``has_path`` check against the evolving adjacency.
+            reached = self._collect_descendants(set(), predecessor)
             for successor in successors:
-                if predecessor is not successor:
-                    self.add_edge(predecessor, successor, "", EdgeKind.BRIDGE)
+                if predecessor is successor or id(successor) in reached:
+                    continue
+                self.add_edge(predecessor, successor, "", EdgeKind.BRIDGE)
+                reached.add(id(successor))
+                self._collect_descendants(reached, successor)
         return former_out
+
+    @staticmethod
+    def _collect_descendants(reached: set, src: TxNode) -> set:
+        """Extend ``reached`` with the ids of every node reachable from
+        ``src`` (``src`` itself excluded unless already present)."""
+        stack = [src]
+        while stack:
+            for child in stack.pop().out_edges:
+                if id(child) not in reached:
+                    reached.add(id(child))
+                    stack.append(child)
+        return reached
 
     # -- indexes -----------------------------------------------------------------
 
@@ -229,12 +336,30 @@ class DependencyGraph:
                 f"self-edge on {src.tx_id} (key {key}, {kind.value})")
         src.out_edges.setdefault(dst, {})[(key, kind)] = None
         dst.in_edges.setdefault(src, {})[(key, kind)] = None
+        self._index_add_edge(src, dst)
 
     def has_edge(self, src: TxNode, dst: TxNode) -> bool:
         return dst in src.out_edges
 
     def has_path(self, src: TxNode, dst: TxNode) -> bool:
-        """True iff ``dst`` is reachable from ``src`` (DFS over out-edges)."""
+        """True iff ``dst`` is reachable from ``src`` (O(1) bit test)."""
+        self.path_queries += 1
+        if src is dst:
+            return True
+        if src._index_owner is not self or dst._index_owner is not self:
+            # Unindexed endpoints (no edges yet) are the common case here.
+            if not src.out_edges or not dst.in_edges:
+                return False
+            # Indexed by another graph (hand-built sharing): answer from
+            # the adjacency directly; our next rebuild re-claims the node.
+            return self._has_path_dfs(src, dst)
+        if self._built_gen != self._gen:
+            self._rebuild_index()
+        return bool(self._down[src._index_serial] >> dst._index_serial & 1)
+
+    def _has_path_dfs(self, src: TxNode, dst: TxNode) -> bool:
+        """Reference DFS reachability (the seed implementation); kept for
+        equivalence tests and the before/after benchmark."""
         if src is dst:
             return True
         stack = [src]
@@ -248,6 +373,130 @@ class DependencyGraph:
                     seen.add(id(neighbor))
                     stack.append(neighbor)
         return False
+
+    # -- reachability index internals ------------------------------------------
+
+    def _ensure_serial(self, node: TxNode) -> int:
+        """Return ``node``'s serial, registering it on first edge contact.
+
+        A node currently owned by *another* graph (hand-built sharing) is
+        re-claimed; since it may carry edges this graph's clean bitsets
+        know nothing about, that case invalidates the index and lets the
+        next rebuild heal the closure."""
+        if node._index_owner is not self:
+            stolen = node._index_owner is not None
+            serial = len(self._indexed)
+            node._index_serial = serial
+            node._index_owner = self
+            self._indexed.append(node)
+            if stolen:
+                self._gen += 1  # force a rebuild; singleton sets would lie
+            elif self._built_gen == self._gen:
+                bit = 1 << serial
+                self._down.append(bit)
+                self._up.append(bit)
+            return serial
+        return node._index_serial
+
+    def _index_add_edge(self, src: TxNode, dst: TxNode) -> None:
+        """Italiano-style closure maintenance for a new edge src -> dst."""
+        src_serial = self._ensure_serial(src)
+        dst_serial = self._ensure_serial(dst)
+        if self._built_gen != self._gen:
+            return  # stale: the next query rebuilds from adjacency anyway
+        down = self._down
+        up = self._up
+        if down[src_serial] >> dst_serial & 1:
+            return  # already ordered; closure unchanged
+        ancestors = up[src_serial]
+        descendants = down[dst_serial]
+        remaining = ancestors
+        while remaining:
+            low = remaining & -remaining
+            down[low.bit_length() - 1] |= descendants
+            remaining ^= low
+        remaining = descendants
+        while remaining:
+            low = remaining & -remaining
+            up[low.bit_length() - 1] |= ancestors
+            remaining ^= low
+
+    def _rebuild_index(self) -> None:
+        """Recompute closure bitsets from the live adjacency.
+
+        Serials are compacted first — detached nodes' holes are dropped so
+        bitsets stay as dense as the surviving graph — and any neighbor
+        another graph claimed in the meantime (hand-built sharing) is
+        re-claimed.  Nodes are then processed in Kahn topological order
+        (one pass of set unions); graphs with a cycle — only constructible
+        by hand, the controller never creates one — fall back to a
+        fixpoint iteration so the answers still match DFS reachability.
+        """
+        self.index_rebuilds += 1
+        nodes = [node for serial, node in enumerate(self._indexed)
+                 if node is not None and node._index_owner is self
+                 and node._index_serial == serial]
+        for serial, node in enumerate(nodes):
+            node._index_serial = serial
+        # Re-claim foreign neighbors (and their adjacency, transitively).
+        cursor = 0
+        while cursor < len(nodes):
+            node = nodes[cursor]
+            cursor += 1
+            for edges in (node.out_edges, node.in_edges):
+                for neighbor in edges:
+                    serial = neighbor._index_serial
+                    if neighbor._index_owner is not self \
+                            or serial >= len(nodes) \
+                            or nodes[serial] is not neighbor:
+                        neighbor._index_serial = len(nodes)
+                        neighbor._index_owner = self
+                        nodes.append(neighbor)
+        self._indexed = nodes
+        count = len(nodes)
+        down = [0] * count
+        up = [0] * count
+        indegree = [0] * count
+        for serial, node in enumerate(nodes):
+            down[serial] = up[serial] = 1 << serial
+            for neighbor in node.out_edges:
+                indegree[neighbor._index_serial] += 1
+        ready = [serial for serial in range(count) if indegree[serial] == 0]
+        topo: List[int] = []
+        while ready:
+            serial = ready.pop()
+            topo.append(serial)
+            for neighbor in nodes[serial].out_edges:
+                neighbor_serial = neighbor._index_serial
+                indegree[neighbor_serial] -= 1
+                if indegree[neighbor_serial] == 0:
+                    ready.append(neighbor_serial)
+        if len(topo) == count:
+            for serial in reversed(topo):
+                acc = down[serial]
+                for neighbor in nodes[serial].out_edges:
+                    acc |= down[neighbor._index_serial]
+                down[serial] = acc
+            for serial in topo:
+                acc = up[serial]
+                for neighbor in nodes[serial].in_edges:
+                    acc |= up[neighbor._index_serial]
+                up[serial] = acc
+        else:  # pragma: no cover - cycles only arise in hand-built graphs
+            for sets, edges in ((down, "out_edges"), (up, "in_edges")):
+                changed = True
+                while changed:
+                    changed = False
+                    for serial in range(count):
+                        acc = sets[serial]
+                        for neighbor in getattr(nodes[serial], edges):
+                            acc |= sets[neighbor._index_serial]
+                        if acc != sets[serial]:
+                            sets[serial] = acc
+                            changed = True
+        self._down = down
+        self._up = up
+        self._built_gen = self._gen
 
     # -- whole-graph queries ---------------------------------------------------
 
@@ -288,38 +537,38 @@ class DependencyGraph:
     def topological_order(self) -> List[TxNode]:
         """A deterministic topological order of all non-aborted nodes.
 
-        Ties are broken by (committed order, tx id) so the result is stable.
-        Raises :class:`SerializationError` if a cycle slipped in.
+        Kahn's algorithm on a heap: ties are broken by (committed order,
+        tx id) so the result is stable.  Raises :class:`SerializationError`
+        if a cycle slipped in.
         """
         nodes = [node for node in self.nodes.values()
                  if node.status is not NodeStatus.ABORTED]
-        indegree: Dict[int, int] = {}
-        by_id = {id(node): node for node in nodes}
+        indegree: Dict[int, int] = {id(node): 0 for node in nodes}
         for node in nodes:
-            indegree.setdefault(id(node), 0)
             for neighbor in node.out_edges:
-                if id(neighbor) in by_id or neighbor in nodes:
-                    indegree[id(neighbor)] = indegree.get(id(neighbor), 0) + 1
+                if id(neighbor) in indegree:
+                    indegree[id(neighbor)] += 1
 
         def sort_key(node: TxNode) -> Tuple[int, int]:
             order = node.order_index if node.order_index is not None else 1 << 60
             return (order, node.tx_id)
 
-        ready = sorted((n for n in nodes if indegree[id(n)] == 0), key=sort_key)
+        # tx_id is unique among non-aborted nodes, so the node itself is
+        # never compared.
+        ready = [(*sort_key(node), node) for node in nodes
+                 if indegree[id(node)] == 0]
+        heapq.heapify(ready)
         result: List[TxNode] = []
         while ready:
-            node = ready.pop(0)
+            node = heapq.heappop(ready)[2]
             result.append(node)
-            newly_ready = []
             for neighbor in node.out_edges:
-                if id(neighbor) not in indegree:
+                neighbor_id = id(neighbor)
+                if neighbor_id not in indegree:
                     continue
-                indegree[id(neighbor)] -= 1
-                if indegree[id(neighbor)] == 0:
-                    newly_ready.append(neighbor)
-            if newly_ready:
-                ready.extend(newly_ready)
-                ready.sort(key=sort_key)
+                indegree[neighbor_id] -= 1
+                if indegree[neighbor_id] == 0:
+                    heapq.heappush(ready, (*sort_key(neighbor), neighbor))
         if len(result) != len(nodes):
             raise SerializationError("dependency graph contains a cycle")
         return result

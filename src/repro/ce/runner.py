@@ -10,6 +10,10 @@ Fig. 11 executor-scaling curves.
 Aborted transactions are re-executed: a running transaction retries in its
 own executor (after a short backoff); a transaction that had already entered
 finalization and is cascade-aborted later re-enters the work queue.
+
+When the batch completes, one shutdown sentinel per worker is flushed into
+the queue so executors blocked on ``get()`` terminate instead of idling
+forever — important when many batches share one long-lived environment.
 """
 
 from __future__ import annotations
@@ -158,9 +162,15 @@ class CERunner:
         cc_gate = Resource(env, capacity=1)
         workers = min(self.config.executors, len(transactions))
         for _ in range(workers):
-            env.process(self._worker(env, queue, cc, cc_gate, state))
+            state.workers.append(
+                env.process(self._worker(env, queue, cc, cc_gate, state)))
         state.started_at = env.now
         yield state.done
+        # Wake every executor still blocked on queue.get() so the pool
+        # terminates cleanly: workers busy at done-time exit through the
+        # loop condition instead and leave their sentinel in the store.
+        for _ in range(workers):
+            queue.put(self._SHUTDOWN)
         return BatchResult(
             committed=cc.committed,
             elapsed=env.now - state.started_at,
@@ -177,7 +187,7 @@ class CERunner:
         config = self.config
         while not state.done.triggered:
             item = yield queue.get()
-            if item is self._SHUTDOWN:  # pragma: no cover - defensive
+            if item is self._SHUTDOWN:
                 return
             tx: Transaction = item
             body = self.registry.get(tx.contract)
@@ -261,6 +271,9 @@ class _RunState:
     latencies: Dict[int, float] = field(default_factory=dict)
     cc: Optional[ConcurrencyController] = None
     done: Any = None
+    #: Worker process handles; all of them are triggered (terminated) once
+    #: the batch completes and the shutdown sentinels have drained.
+    workers: List[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.done = self.env.event()

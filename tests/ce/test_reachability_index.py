@@ -1,0 +1,390 @@
+"""Regression tests for the incremental reachability index and the
+related depgraph/runner fixes.
+
+* index answers must equal the reference DFS under any sequence of edge
+  insertions and detaches (the determinism of the whole executor depends
+  on it),
+* ``topological_order`` must match the reference sorted-list Kahn
+  implementation the seed shipped,
+* abort storms must leave the graph acyclic with a bounded edge count
+  (selective BRIDGE edges), and
+* the executor pool must terminate its worker processes once a batch
+  completes.
+"""
+
+import random
+
+import pytest
+
+from repro.ce import CEConfig, CERunner, ConcurrencyController
+from repro.ce.depgraph import (DependencyGraph, EdgeKind, NodeStatus, TxNode)
+from repro.contracts import default_registry, initial_state
+from repro.errors import TransactionAborted
+from repro.sim import Environment, make_rng
+from repro.txn import Transaction
+from repro.workloads.ycsb import (YCSB_RMW, initial_state as ycsb_state,
+                                  register_ycsb)
+from repro.contracts.contract import ContractRegistry
+
+
+# --------------------------------------------------------------- index
+
+
+def random_dag_ops(rng, n_nodes, n_ops):
+    """A reproducible op sequence: edge adds (low -> high serial, so the
+    graph stays acyclic), detaches, and queries."""
+    graph = DependencyGraph()
+    nodes = [TxNode(tx_id=i, attempt=1) for i in range(n_nodes)]
+    for node in nodes:
+        graph.add_node(node)
+    alive = list(range(n_nodes))
+    for _ in range(n_ops):
+        action = rng.random()
+        if action < 0.55 and len(alive) >= 2:
+            a, b = sorted(rng.sample(alive, 2))
+            graph.add_edge(nodes[a], nodes[b], f"k{rng.randrange(4)}",
+                           EdgeKind.ANTI)
+        elif action < 0.70 and len(alive) > 2:
+            victim = alive.pop(rng.randrange(len(alive)))
+            nodes[victim].status = NodeStatus.ABORTED
+            graph.detach_node(nodes[victim])
+        else:
+            a = rng.choice(alive)
+            b = rng.choice(alive)
+            assert graph.has_path(nodes[a], nodes[b]) == \
+                graph._has_path_dfs(nodes[a], nodes[b])
+    return graph, nodes, alive
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_index_matches_dfs_under_churn(seed):
+    rng = random.Random(seed)
+    graph, nodes, alive = random_dag_ops(rng, n_nodes=30, n_ops=300)
+    # exhaustive final sweep over the survivors
+    for a in alive:
+        for b in alive:
+            assert graph.has_path(nodes[a], nodes[b]) == \
+                graph._has_path_dfs(nodes[a], nodes[b]), (seed, a, b)
+
+
+def test_index_exact_after_detach_bridge():
+    """Bridges preserve the closure over survivors exactly: detaching the
+    middle of a diamond keeps every surviving ordering and adds none."""
+    graph = DependencyGraph()
+    a, mid, b, side = (TxNode(tx_id=i, attempt=1) for i in range(4))
+    for node in (a, mid, b, side):
+        graph.add_node(node)
+    graph.add_edge(a, mid, "k", EdgeKind.READ_FROM)
+    graph.add_edge(mid, b, "k", EdgeKind.READ_FROM)
+    graph.add_edge(a, side, "k2", EdgeKind.ANTI)
+    assert graph.has_path(a, b)
+    mid.status = NodeStatus.ABORTED
+    graph.detach_node(mid)
+    assert graph.has_path(a, b)          # bridged
+    assert graph.has_edge(a, b)
+    assert not graph.has_path(side, b)   # nothing invented
+    assert not graph.has_path(b, a)
+
+
+def test_detach_skips_redundant_bridges():
+    """No BRIDGE edge is added for a pair that stays ordered through
+    surviving nodes."""
+    graph = DependencyGraph()
+    pred, mid, alt, succ = (TxNode(tx_id=i, attempt=1) for i in range(4))
+    for node in (pred, mid, alt, succ):
+        graph.add_node(node)
+    graph.add_edge(pred, mid, "k", EdgeKind.READ_FROM)
+    graph.add_edge(mid, succ, "k", EdgeKind.READ_FROM)
+    graph.add_edge(pred, alt, "k2", EdgeKind.ANTI)   # surviving detour
+    graph.add_edge(alt, succ, "k2", EdgeKind.ANTI)
+    mid.status = NodeStatus.ABORTED
+    graph.detach_node(mid)
+    assert graph.has_path(pred, succ)      # through alt
+    assert not graph.has_edge(pred, succ)  # no redundant bridge
+    bridge_labels = [label for labels in pred.out_edges.values()
+                     for label in labels if label[1] is EdgeKind.BRIDGE]
+    assert bridge_labels == []
+
+
+def test_node_shared_across_two_graphs():
+    """Hand-built sharing: a second graph re-claiming a node must not
+    crash or corrupt the first graph's answers (it falls back to DFS and
+    heals at its next rebuild)."""
+    graph_a, graph_b = DependencyGraph(), DependencyGraph()
+    n0, n1 = TxNode(tx_id=0, attempt=1), TxNode(tx_id=1, attempt=1)
+    graph_a.add_edge(n0, n1, "k", EdgeKind.ANTI)
+    assert graph_a.has_path(n0, n1)
+    # graph B steals the nodes' serials (and adds its own edges)
+    extra = [TxNode(tx_id=i, attempt=1) for i in range(2, 6)]
+    for i in range(len(extra) - 1):
+        graph_b.add_edge(extra[i], extra[i + 1], "x", EdgeKind.ANTI)
+    graph_b.add_edge(extra[-1], n1, "x", EdgeKind.ANTI)
+    graph_b.add_edge(n1, n0, "x", EdgeKind.ANTI)  # reversed in B's blend
+    # A must still answer (shared adjacency is the ground truth)
+    assert graph_a.has_path(n0, n1) == graph_a._has_path_dfs(n0, n1)
+    assert graph_a.has_path(extra[0], n0) == \
+        graph_a._has_path_dfs(extra[0], n0)
+    # force A to rebuild (detach an indexed node) and re-check everything
+    n2 = TxNode(tx_id=6, attempt=1)
+    graph_a.add_node(n2)
+    graph_a.add_edge(n0, n2, "k", EdgeKind.ANTI)
+    n2.status = NodeStatus.ABORTED
+    graph_a.detach_node(n2)
+    everyone = [n0, n1] + extra
+    for a in everyone:
+        for b in everyone:
+            assert graph_a.has_path(a, b) == graph_a._has_path_dfs(a, b), \
+                (a.tx_id, b.tx_id)
+
+
+def test_detach_through_non_owner_graph_invalidates_owner():
+    """Detaching a shared node via a graph that does not own its serial
+    must still invalidate the owner's closure."""
+    graph_a, graph_b = DependencyGraph(), DependencyGraph()
+    x, n, y = (TxNode(tx_id=i, attempt=1) for i in range(3))
+    graph_a.add_edge(x, n, "k", EdgeKind.ANTI)
+    graph_a.add_edge(n, y, "k", EdgeKind.ANTI)
+    graph_a.add_edge(x, y, "k", EdgeKind.ANTI)
+    assert graph_a.has_path(x, n)  # builds A's closure
+    n.status = NodeStatus.ABORTED
+    graph_b.detach_node(n)  # B never indexed n; A owns the serial
+    assert not graph_a.has_path(x, n)
+    assert graph_a.has_path(x, y)  # direct edge survives
+    assert graph_a.has_path(x, n) == graph_a._has_path_dfs(x, n)
+
+
+def test_edgeless_abort_costs_no_rebuild():
+    """Detaching a node that never touched an edge must not invalidate
+    the index."""
+    graph = DependencyGraph()
+    a, b, loner = (TxNode(tx_id=i, attempt=1) for i in range(3))
+    for node in (a, b, loner):
+        graph.add_node(node)
+    graph.add_edge(a, b, "k", EdgeKind.ANTI)
+    assert graph.has_path(a, b)
+    rebuilds = graph.index_rebuilds
+    loner.status = NodeStatus.ABORTED
+    graph.detach_node(loner)
+    assert graph.has_path(a, b)
+    assert graph.index_rebuilds == rebuilds
+
+
+def test_index_compacts_on_rebuild():
+    """Detached nodes' bit positions are dropped at the next rebuild."""
+    graph = DependencyGraph()
+    nodes = [TxNode(tx_id=i, attempt=1) for i in range(10)]
+    for node in nodes:
+        graph.add_node(node)
+    for i in range(9):
+        graph.add_edge(nodes[i], nodes[i + 1], "k", EdgeKind.ANTI)
+    assert graph.has_path(nodes[0], nodes[9])
+    for node in nodes[1:9]:
+        node.status = NodeStatus.ABORTED
+        graph.detach_node(node)
+    assert graph.has_path(nodes[0], nodes[9])  # bridged chain, rebuilt
+    assert len(graph._indexed) == 2
+    assert graph._indexed[nodes[0]._index_serial] is nodes[0]
+
+
+def test_stats_counters_exposed():
+    cc = ConcurrencyController({"k": 1})
+    t1 = cc.begin(1)
+    cc.write(t1, "k", 2)
+    t2 = cc.begin(2)
+    cc.read(t2, "k")   # rf edge t1 -> t2
+    t3 = cc.begin(3)
+    cc.read(t3, "k")   # rf edge t1 -> t3
+    assert cc.stats.path_queries == cc.graph.path_queries > 0
+    cc.abort_transaction(2)  # detaches an indexed node -> invalidation
+    node1, node3 = cc.graph.get(1), cc.graph.get(3)
+    assert cc.graph.has_path(node1, node3)  # lazy rebuild fires here
+    assert cc.stats.index_rebuilds == cc.graph.index_rebuilds >= 1
+
+
+# ------------------------------------------------------- topological order
+
+
+def reference_topological_order(graph):
+    """The seed implementation: sorted ready list, pop(0), re-sort."""
+    nodes = [node for node in graph.nodes.values()
+             if node.status is not NodeStatus.ABORTED]
+    indegree = {}
+    by_id = {id(node): node for node in nodes}
+    for node in nodes:
+        indegree.setdefault(id(node), 0)
+        for neighbor in node.out_edges:
+            if id(neighbor) in by_id:
+                indegree[id(neighbor)] = indegree.get(id(neighbor), 0) + 1
+
+    def sort_key(node):
+        order = node.order_index if node.order_index is not None else 1 << 60
+        return (order, node.tx_id)
+
+    ready = sorted((n for n in nodes if indegree[id(n)] == 0), key=sort_key)
+    result = []
+    while ready:
+        node = ready.pop(0)
+        result.append(node)
+        newly_ready = []
+        for neighbor in node.out_edges:
+            if id(neighbor) not in indegree:
+                continue
+            indegree[id(neighbor)] -= 1
+            if indegree[id(neighbor)] == 0:
+                newly_ready.append(neighbor)
+        if newly_ready:
+            ready.extend(newly_ready)
+            ready.sort(key=sort_key)
+    return result
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_topological_order_matches_reference(seed):
+    rng = random.Random(seed ^ 0x70D0)
+    graph = DependencyGraph()
+    n = rng.randrange(2, 40)
+    nodes = [TxNode(tx_id=i, attempt=1) for i in range(n)]
+    for node in nodes:
+        graph.add_node(node)
+        if rng.random() < 0.4:
+            node.order_index = rng.randrange(5)  # committed-order ties
+    for _ in range(rng.randrange(3 * n)):
+        a, b = sorted(rng.sample(range(n), 2))
+        graph.add_edge(nodes[a], nodes[b], f"k{rng.randrange(3)}",
+                       EdgeKind.ANTI)
+    for _ in range(rng.randrange(n // 4 + 1)):
+        victim = nodes[rng.randrange(n)]
+        if victim.status is not NodeStatus.ABORTED:
+            victim.status = NodeStatus.ABORTED
+            graph.detach_node(victim)
+    expected = [node.tx_id for node in reference_topological_order(graph)]
+    actual = [node.tx_id for node in graph.topological_order()]
+    assert actual == expected
+
+
+# ------------------------------------------------------------ abort storms
+
+
+def rmw_txs(n, records):
+    return [Transaction(i, YCSB_RMW, (i % records, 1 + i % 7), (0,))
+            for i in range(n)]
+
+
+def test_abort_storm_edges_bounded_and_acyclic():
+    """A hot-key RMW storm with external aborts sprinkled in: the graph
+    must stay acyclic and BRIDGE accumulation must stay linear in the
+    batch size, not quadratic."""
+    registry = ContractRegistry()
+    register_ycsb(registry)
+    n = 120
+    env = Environment()
+    runner = CERunner(registry, CEConfig(executors=16), make_rng(5))
+    proc = runner.run_batch(env, rmw_txs(n, records=2), ycsb_state(2))
+    env.run()
+    assert proc.triggered
+    cc = runner.last_state.cc
+    assert cc.committed_count() == n
+    assert cc.stats.aborts > 20, "storm did not materialize"
+    graph = cc.graph
+    assert graph.is_acyclic()
+    # all committed nodes remain; selective bridging keeps the edge count
+    # a small multiple of the node count instead of O(aborts * n)
+    assert graph.edge_count() < 8 * n
+    order = graph.topological_order()
+    assert len(order) == n
+
+
+def test_layered_abort_storm_no_bridge_blowup():
+    """Dense layered DAG: every (pred, succ) pair of a detached node stays
+    ordered through its surviving layer-mates, so selective bridging adds
+    ZERO edges where bridge-every-pair would add W^2 labels per detach."""
+    graph = DependencyGraph()
+    width, depth = 8, 6
+    layers = [[TxNode(tx_id=level * width + i, attempt=1)
+               for i in range(width)] for level in range(depth)]
+    for layer in layers:
+        for node in layer:
+            graph.add_node(node)
+    for level in range(depth - 1):
+        for upper in layers[level]:
+            for lower in layers[level + 1]:
+                graph.add_edge(upper, lower, "k", EdgeKind.ANTI)
+    for level in range(1, depth - 1):
+        for node in layers[level][:width // 2]:
+            node.status = NodeStatus.ABORTED
+            graph.detach_node(node)
+    # Only edges among survivors remain; no bridges appear.  Survivor
+    # counts per layer: full rims, halved middles.
+    survivors = [width] + [width // 2] * (depth - 2) + [width]
+    expected = sum(survivors[i] * survivors[i + 1] for i in range(depth - 1))
+    assert graph.edge_count() == expected
+    assert graph.is_acyclic()
+    # Orderings across the holes survive through the remaining mates.
+    assert graph.has_path(layers[0][0], layers[-1][-1])
+
+
+def test_external_abort_storm_on_controller():
+    """Direct CC drive: abort a third of the transactions mid-flight."""
+    rng = random.Random(17)
+    cc = ConcurrencyController({f"k{i}": 0 for i in range(3)},
+                               check_invariants=True)
+    live = []
+    for tx_id in range(90):
+        node = cc.begin(tx_id)
+        try:
+            key = f"k{rng.randrange(3)}"
+            value = cc.read(node, key)
+            cc.write(node, key, value + 1)
+            live.append(tx_id)
+        except TransactionAborted:
+            continue
+        if rng.random() < 0.33 and live:
+            cc.abort_transaction(live.pop(rng.randrange(len(live))),
+                                 reason="storm")
+    assert cc.graph.is_acyclic()
+    # survivors' reachability still matches the reference DFS
+    survivors = [n for n in cc.graph.nodes.values()
+                 if n.status is not NodeStatus.ABORTED]
+    for a in survivors[:30]:
+        for b in survivors[:30]:
+            assert cc.graph.has_path(a, b) == cc.graph._has_path_dfs(a, b)
+
+
+# ------------------------------------------------------------ worker pool
+
+
+def test_worker_processes_terminate_after_batch():
+    registry = default_registry()
+    rng = make_rng(0)
+    txs = []
+    for i in range(20):
+        a, b = rng.sample(range(8), 2)
+        txs.append(Transaction(i, "smallbank.send_payment",
+                               (a, b, 1 + i % 5), (0,)))
+    env = Environment()
+    runner = CERunner(registry, CEConfig(executors=8), make_rng(2))
+    proc = runner.run_batch(env, txs, initial_state(8))
+    env.run()
+    assert proc.triggered
+    workers = runner.last_state.workers
+    assert len(workers) == 8
+    assert all(not worker.is_alive for worker in workers), \
+        "idle workers left blocked on queue.get() after the batch"
+
+
+def test_sequential_batches_on_one_environment():
+    """Long-lived environment: back-to-back batches leak no live workers."""
+    registry = default_registry()
+    env = Environment()
+    runner = CERunner(registry, CEConfig(executors=4), make_rng(9))
+    all_workers = []
+    for round_no in range(3):
+        rng = make_rng(round_no)
+        txs = [Transaction(i, "smallbank.get_balance",
+                           (rng.randrange(8),), (0,)) for i in range(10)]
+        proc = runner.run_batch(env, txs, initial_state(8))
+        env.run()
+        assert proc.triggered and len(proc.value.committed) == 10
+        all_workers.extend(runner.last_state.workers)
+    assert len(all_workers) == 12
+    assert all(not worker.is_alive for worker in all_workers)

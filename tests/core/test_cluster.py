@@ -9,6 +9,9 @@ from repro.workloads import WorkloadConfig
 
 from tests.conftest import make_cluster
 
+#: Heavy multi-replica runs; excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 
 def run_small(config=None, workload=None, duration=0.5, drain=0.0,
               **kwargs):

@@ -13,6 +13,9 @@ from repro.workloads import WorkloadConfig
 
 from tests.conftest import make_cluster
 
+#: Heavy multi-replica runs; excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 
 def converged_state_total(cluster):
     replica = max(cluster.replicas, key=lambda r: len(r.commit_log))

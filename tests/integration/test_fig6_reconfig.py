@@ -14,6 +14,9 @@ from repro.workloads import WorkloadConfig
 
 from tests.conftest import make_cluster
 
+#: Heavy multi-replica runs; excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def censored_cluster():

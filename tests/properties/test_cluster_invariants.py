@@ -13,6 +13,11 @@ from repro.core import ThunderboltConfig
 from repro.core.cluster import Cluster
 from repro.workloads import WorkloadConfig
 
+import pytest
+
+#: Heavy multi-replica runs; excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 SETTINGS = settings(max_examples=5, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow])
 
