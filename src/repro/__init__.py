@@ -24,7 +24,8 @@ Quickstart::
     print(result)
 """
 
-from repro.ce import CEConfig, CERunner, ConcurrencyController
+from repro.ce import (CEConfig, CERunner, ConcurrencyController,
+                      StreamingRunner)
 from repro.core import (Cluster, ClusterResult, ThunderboltConfig,
                         run_cluster)
 from repro.txn import Transaction, TxKind
@@ -39,6 +40,7 @@ __all__ = [
     "ClusterResult",
     "ConcurrencyController",
     "SmallBankWorkload",
+    "StreamingRunner",
     "ThunderboltConfig",
     "Transaction",
     "TxKind",

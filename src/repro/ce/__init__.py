@@ -3,6 +3,8 @@
 * :class:`~repro.ce.controller.ConcurrencyController` — dependency-graph
   concurrency control without prior read/write-set knowledge.
 * :class:`~repro.ce.runner.CERunner` — the simulated executor pool.
+* :class:`~repro.ce.streaming.StreamingRunner` — a long-lived pool serving
+  a continuous batch stream with committed-node pruning.
 * :func:`~repro.ce.validation.validate_block` — commit-time parallel
   validation of preplay results.
 """
@@ -11,6 +13,7 @@ from repro.ce.controller import (CCStats, CommittedTx, ConcurrencyController)
 from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
                                NodeStatus, TxNode)
 from repro.ce.runner import BatchResult, CEConfig, CERunner
+from repro.ce.streaming import StreamingRunner, StreamResult
 from repro.ce.validation import (ValidationOutcome, build_validation_levels,
                                  validate_block)
 
@@ -25,6 +28,8 @@ __all__ = [
     "EdgeKind",
     "KeyRecord",
     "NodeStatus",
+    "StreamResult",
+    "StreamingRunner",
     "TxNode",
     "ValidationOutcome",
     "build_validation_levels",

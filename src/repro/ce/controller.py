@@ -47,6 +47,26 @@ generation-counter rebuild after an abort detaches a node — see the
 complexity).  :class:`CCStats` surfaces the query volume as
 ``path_queries`` and the abort-driven invalidation rate as
 ``index_rebuilds``.
+
+Long-lived use (streaming)
+--------------------------
+One controller can outlive many batches (see :mod:`repro.ce.streaming`):
+committed write sets accumulate in the root overlay, so later transactions
+observe earlier commits even after their nodes leave the graph.  Two calls
+keep such a controller bounded over an unbounded stream:
+
+* :meth:`ConcurrencyController.prune_committed` evicts committed nodes
+  that satisfy the pruning safety condition documented in
+  :mod:`repro.ce.depgraph` — observable behavior (values read, aborts,
+  commit order) is provably unchanged, and at a quiescent point (every
+  node either committed or still edge-less) the *entire* committed history
+  is evicted, leaving the controller equivalent to a fresh one seeded with
+  ``base_state`` plus the overlay.
+* :meth:`ConcurrencyController.harvest_committed` hands the caller the
+  committed entries accumulated so far and forgets them (plus the
+  per-transaction attempt counters), so result buffers don't grow with
+  stream length.  ``order_index`` keeps increasing monotonically across
+  harvests.
 """
 
 from __future__ import annotations
@@ -71,6 +91,8 @@ class CCStats:
     conflict_repairs: int = 0  # reads repaired by the ancestor fallback
     path_queries: int = 0      # has_path() calls answered by the index
     index_rebuilds: int = 0    # lazy closure rebuilds after aborts
+    nodes_pruned: int = 0      # committed nodes evicted from the graph
+    prune_passes: int = 0      # prune_committed() invocations
 
 
 @dataclass
@@ -118,6 +140,7 @@ class ConcurrencyController:
         """Live counters; graph-owned index counters are synced on access."""
         self._stats.path_queries = self.graph.path_queries
         self._stats.index_rebuilds = self.graph.index_rebuilds
+        self._stats.nodes_pruned = self.graph.nodes_pruned
         return self._stats
 
     # ------------------------------------------------------------------ API
@@ -189,6 +212,31 @@ class ConcurrencyController:
         node = self.graph.get(tx_id)
         if node is not None and node.alive:
             self._abort(node, reason=reason, cascading=True)
+
+    def prune_committed(self) -> int:
+        """Evict committed nodes the graph can prove no future decision
+        needs (see the pruning safety condition in
+        :mod:`repro.ce.depgraph`); returns the number evicted.
+
+        Reads that would have been served by an evicted writer fall
+        through to the root, where the committed overlay answers with the
+        identical value — that is condition 3 of the safety condition, so
+        behavior is unchanged.  Called by the streaming runner at every
+        batch boundary; safe (merely conservative) at any other time.
+        """
+        self._stats.prune_passes += 1
+        return self.graph.prune_committed(self.read_root)
+
+    def harvest_committed(self) -> List[CommittedTx]:
+        """Return the committed entries accumulated since the last harvest
+        and release them (plus their attempt counters) so a long-lived
+        controller's buffers stay bounded.  Order indexes are global and
+        keep increasing across harvests."""
+        harvested = self._committed
+        self._committed = []
+        for entry in harvested:
+            self._attempts.pop(entry.tx_id, None)
+        return harvested
 
     # -- results -----------------------------------------------------------
 

@@ -45,6 +45,48 @@ tests and benchmarks), so controller behavior is bit-for-bit unchanged.
 ``path_queries`` / ``index_rebuilds`` counters feed :class:`CCStats` so
 Fig. 11-style runs can report the query load and invalidation rate.
 
+Closure-index invariants
+------------------------
+1. *Mirror*: for every pair of indexed nodes ``(u, v)``,
+   ``down[u] >> serial(v) & 1`` equals DFS reachability over the current
+   adjacency lists whenever ``_built_gen == _gen``.
+2. *Self-inclusion*: every indexed node's ``down``/``up`` bitsets contain
+   its own bit.
+3. *Staleness is explicit*: any mutation the closure cannot absorb
+   incrementally (node detach, node eviction, ownership steal) bumps
+   ``_gen``; queries never read bitsets while ``_built_gen != _gen``.
+4. *Serial density*: after every rebuild, serials are a compaction of the
+   surviving nodes, so bitset width tracks the live graph, not its
+   history.
+
+Committed-node pruning
+----------------------
+A long-lived graph serving a transaction *stream* (see
+:mod:`repro.ce.streaming`) would otherwise grow without bound: committed
+nodes stay in the closure universe, every rebuild pays for them, and the
+per-key writer/reader lists keep densifying.  :meth:`prune_committed`
+evicts a set of committed nodes wholesale.  **Pruning safety condition** —
+a committed node ``C`` may be evicted only as part of a victim set ``S``
+such that:
+
+1. every graph neighbour (in- or out-edge, including ``BRIDGE`` edges) of
+   every member of ``S`` is itself in ``S`` — so no surviving-to-surviving
+   path ever ran through a victim, and no live node is adjacent to one;
+2. for every key ``K`` recorded by a member of ``S``, *every* non-aborted
+   node holding a record on ``K`` is in ``S`` — so per-key rule loops
+   (R1/R2/R4) never see a half-evicted history;
+3. for every such key with writers, the root's answer for ``K`` (the
+   committed overlay, supplied via the ``root_value`` callback) equals the
+   value of the last-registered writer — so a future read that falls
+   through to the root observes exactly the value it would have read from
+   the evicted writer.
+
+Under 1–3 the controller's observable behavior — values read, aborts,
+commit order — is unchanged by the eviction; only edges *touching* a
+victim (which cannot influence any surviving decision) disappear.
+Eviction marks index holes and bumps the generation counter, so the next
+query's rebuild compacts the bitsets down to the surviving graph.
+
 Determinism note: all collections that the controller iterates are dicts
 used as ordered sets, so runs are reproducible (plain ``set`` of objects
 would iterate in address order).  Index serials follow dict insertion
@@ -202,6 +244,7 @@ class DependencyGraph:
         #: Counters surfaced through :class:`repro.ce.controller.CCStats`.
         self.path_queries = 0
         self.index_rebuilds = 0
+        self.nodes_pruned = 0
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -289,6 +332,126 @@ class DependencyGraph:
                 reached.add(id(successor))
                 self._collect_descendants(reached, successor)
         return former_out
+
+    # -- committed-node pruning ---------------------------------------------
+
+    def prunable_committed(self, root_value) -> List[TxNode]:
+        """The maximal victim set satisfying the pruning safety condition.
+
+        ``root_value(key)`` must answer what a read falling through to the
+        root would currently observe (the controller passes its
+        overlay-then-base lookup).  Starting from every committed node, the
+        set is shrunk to a fixpoint: a candidate is dropped when it has a
+        neighbour outside the set, when some non-aborted holder of one of
+        its keys is outside the set, or when evicting a key's writers would
+        change the value the root serves for that key.  See the module
+        docstring for why these three conditions make eviction invisible
+        to the controller.
+        """
+        victims: Dict[TxNode, None] = {
+            node: None for node in self.nodes.values()
+            if node.status is NodeStatus.COMMITTED}
+        while victims:
+            dropped = False
+            #: Per-pass key verdicts: a key's cohort check is identical for
+            #: every victim sharing the key, so compute it once.  The cache
+            #: may go stale when a later drop removes a cohort member, but
+            #: the loop runs to a fixpoint and the final (drop-free) pass
+            #: sees only fresh, consistent verdicts.
+            key_ok: Dict[str, bool] = {}
+            for node in list(victims):
+                if self._prune_safe(node, victims, key_ok, root_value):
+                    continue
+                del victims[node]
+                dropped = True
+            if not dropped:
+                break
+        return list(victims)
+
+    def _prune_safe(self, node: TxNode, victims: Dict[TxNode, None],
+                    key_ok: Dict[str, bool], root_value) -> bool:
+        """One candidate's check against the current victim set."""
+        for neighbor in node.out_edges:
+            if neighbor not in victims:
+                return False
+        for neighbor in node.in_edges:
+            if neighbor not in victims:
+                return False
+        for key in node.records:
+            verdict = key_ok.get(key)
+            if verdict is None:
+                verdict = self._key_cohort_evictable(key, victims, root_value)
+                key_ok[key] = verdict
+            if not verdict:
+                return False
+        return True
+
+    def _key_cohort_evictable(self, key: str, victims: Dict[TxNode, None],
+                              root_value) -> bool:
+        """Whether ``key``'s whole history can leave: every non-aborted
+        holder is a victim, and the root already serves the value the
+        last-registered writer would have."""
+        last_writer: Optional[TxNode] = None
+        for holder in self._writers.get(key, {}):
+            if holder.status is NodeStatus.ABORTED:
+                continue
+            if holder not in victims:
+                return False
+            last_writer = holder
+        for holder in self._readers.get(key, {}):
+            if holder.status is not NodeStatus.ABORTED \
+                    and holder not in victims:
+                return False
+        if last_writer is not None \
+                and last_writer.records[key].last_write != root_value(key):
+            return False
+        return True
+
+    def prune_committed(self, root_value) -> int:
+        """Evict every safely-prunable committed node; returns the count.
+
+        Evicted nodes leave the node table, the per-key writer/reader
+        indexes, the adjacency lists, and the closure universe (their index
+        slots become holes and the generation counter is bumped, so the
+        next query's rebuild compacts the bitsets down to the survivors).
+        Unlike :meth:`detach_node` no bridging is needed: condition 1 of
+        the safety condition guarantees no surviving pair was ordered
+        through a victim.
+        """
+        victims = self.prunable_committed(root_value)
+        if not victims:
+            return 0
+        indexed = False
+        for node in victims:
+            for key in node.records:
+                for index in (self._writers, self._readers):
+                    holders = index.get(key)
+                    if holders is not None:
+                        holders.pop(node, None)
+                        if not holders:
+                            del index[key]
+            # Condition 1 makes every neighbour a victim too, so clearing
+            # both endpoints' maps as we go leaves no dangling references.
+            for neighbor in node.out_edges:
+                neighbor.in_edges.pop(node, None)
+            for neighbor in node.in_edges:
+                neighbor.out_edges.pop(node, None)
+            node.out_edges.clear()
+            node.in_edges.clear()
+            if self.nodes.get(node.tx_id) is node:
+                del self.nodes[node.tx_id]
+            if node._index_owner is self:
+                serial = node._index_serial
+                if serial is not None and serial < len(self._indexed) \
+                        and self._indexed[serial] is node:
+                    self._indexed[serial] = None
+                node._index_serial = None
+                node._index_owner = None
+                indexed = True
+        if indexed:
+            self._gen += 1
+        self.nodes_pruned += len(victims)
+        return len(victims)
 
     @staticmethod
     def _collect_descendants(reached: set, src: TxNode) -> set:

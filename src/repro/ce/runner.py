@@ -14,6 +14,17 @@ finalization and is cascade-aborted later re-enters the work queue.
 When the batch completes, one shutdown sentinel per worker is flushed into
 the queue so executors blocked on ``get()`` terminate instead of idling
 forever — important when many batches share one long-lived environment.
+
+This runner is batch-at-a-time: every call to :meth:`CERunner.run_batch`
+builds a fresh controller (and dependency graph) and a fresh worker pool.
+The per-transaction execute/abort/re-execute loop lives in
+:meth:`CERunner._execute` so :class:`repro.ce.streaming.StreamingRunner`
+— which keeps one controller and one pool alive across a whole stream of
+batches, pruning committed nodes at each boundary — drives transactions
+through the identical code path.  The streaming runner's per-batch
+committed results are byte-identical to this runner's (a property the
+tests and ``benchmarks/bench_streaming_runner.py`` assert), so the two
+are interchangeable wherever batches arrive sequentially.
 """
 
 from __future__ import annotations
@@ -69,6 +80,10 @@ class BatchResult:
     re_executions: int
     latencies: Dict[int, float]
     stats: CCStats
+    #: Dependency-graph node count when the batch completed (for the
+    #: streaming runner: before the boundary prune, so it includes the
+    #: next batch's admitted nodes).  Baseline engines leave it 0.
+    graph_nodes: int = 0
 
     @property
     def order(self) -> List[int]:
@@ -179,70 +194,87 @@ class CERunner:
             re_executions=state.re_executions,
             latencies=dict(state.latencies),
             stats=cc.stats,
+            graph_nodes=len(cc.graph.nodes),
         )
 
     def _worker(self, env: Environment, queue: Store,
                 cc: ConcurrencyController, cc_gate: Resource,
                 state: "_RunState"):
-        config = self.config
         while not state.done.triggered:
             item = yield queue.get()
             if item is self._SHUTDOWN:
                 return
-            tx: Transaction = item
-            body = self.registry.get(tx.contract)
-            attempt = 0
-            while True:
-                attempt += 1
-                if attempt > config.max_attempts:
-                    raise SerializationError(
-                        f"transaction {tx.tx_id} exceeded "
-                        f"{config.max_attempts} attempts (livelock?)")
-                state.owned.add(tx.tx_id)
-                state.first_start.setdefault(tx.tx_id, env.now)
+            yield from self._execute(env, item, cc, cc_gate, state)
+
+    def _execute(self, env: Environment, tx: Transaction,
+                 cc: ConcurrencyController, cc_gate: Resource,
+                 book, node=None):
+        """Drive one transaction to finalization, re-executing on aborts.
+
+        ``book`` is the mutable bookkeeping for the transaction's batch
+        (``owned`` / ``first_start`` / ``re_executions``) — the whole run's
+        :class:`_RunState` here, a per-batch state in the streaming runner.
+        ``node`` optionally carries a pre-begun first attempt (the
+        streaming runner admits a batch's nodes into the graph before its
+        operations are released).
+        """
+        config = self.config
+        body = self.registry.get(tx.contract)
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > config.max_attempts:
+                raise SerializationError(
+                    f"transaction {tx.tx_id} exceeded "
+                    f"{config.max_attempts} attempts (livelock?)")
+            book.owned.add(tx.tx_id)
+            book.first_start.setdefault(tx.tx_id, env.now)
+            if node is None:
                 node = cc.begin(tx.tx_id, now=env.now)
-                generator = body(*tx.args)
-                try:
-                    op = next(generator)
-                    while True:
-                        yield env.timeout(self._op_delay())
-                        request = cc_gate.request()
-                        yield request
-                        try:
-                            if config.cc_cost > 0:
-                                yield env.timeout(config.cc_cost)
-                            if isinstance(op, ReadOp):
-                                value = cc.read(node, op.key)
-                            elif isinstance(op, WriteOp):
-                                cc.write(node, op.key, op.value)
-                                value = None
-                            else:
-                                raise ContractError(
-                                    f"contract yielded non-operation {op!r}")
-                        finally:
-                            cc_gate.release(request)
-                        op = generator.send(value)
-                except StopIteration as stop:
+            generator = body(*tx.args)
+            try:
+                op = next(generator)
+                while True:
+                    yield env.timeout(self._op_delay())
                     request = cc_gate.request()
                     yield request
-                    aborted_at_finish = False
                     try:
-                        cc.finish(node, result=stop.value, now=env.now)
-                    except TransactionAborted:
-                        aborted_at_finish = True
+                        if config.cc_cost > 0:
+                            yield env.timeout(config.cc_cost)
+                        if isinstance(op, ReadOp):
+                            value = cc.read(node, op.key)
+                        elif isinstance(op, WriteOp):
+                            cc.write(node, op.key, op.value)
+                            value = None
+                        else:
+                            raise ContractError(
+                                f"contract yielded non-operation {op!r}")
                     finally:
                         cc_gate.release(request)
-                    state.owned.discard(tx.tx_id)
-                    if aborted_at_finish:
-                        state.re_executions += 1
-                        yield env.timeout(self._backoff(attempt))
-                        continue
-                    break
+                    op = generator.send(value)
+            except StopIteration as stop:
+                request = cc_gate.request()
+                yield request
+                aborted_at_finish = False
+                try:
+                    cc.finish(node, result=stop.value, now=env.now)
                 except TransactionAborted:
-                    state.owned.discard(tx.tx_id)
-                    state.re_executions += 1
+                    aborted_at_finish = True
+                finally:
+                    cc_gate.release(request)
+                book.owned.discard(tx.tx_id)
+                if aborted_at_finish:
+                    book.re_executions += 1
+                    node = None
                     yield env.timeout(self._backoff(attempt))
                     continue
+                break
+            except TransactionAborted:
+                book.owned.discard(tx.tx_id)
+                book.re_executions += 1
+                node = None
+                yield env.timeout(self._backoff(attempt))
+                continue
 
     def _op_delay(self) -> float:
         jitter = self.config.jitter

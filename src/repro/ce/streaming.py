@@ -1,0 +1,297 @@
+"""Streaming multi-batch runner: a long-lived Concurrent Executor.
+
+The paper's evaluation runs batch-at-a-time: build an executor pool, run one
+batch through a fresh :class:`~repro.ce.controller.ConcurrencyController`,
+tear everything down, repeat.  A production deployment serves a *stream* —
+batch after batch against the same state — and rebuilding the world between
+batches throws away the executor pool, the dependency graph's closure
+bitsets, and the committed overlay every few milliseconds of simulated
+time.  :class:`StreamingRunner` keeps all three alive:
+
+* one :class:`~repro.sim.environment.Environment` hosts the whole stream;
+* one controller (and hence one dependency graph) spans every batch, with
+  committed write sets accumulating in its root overlay;
+* one pool of ``config.executors`` worker processes runs for the lifetime
+  of the stream — no per-batch spawn/shutdown churn.
+
+Pipelining and the equivalence guarantee
+----------------------------------------
+Batch *k+1* is **admitted into the dependency graph while batch k is still
+running and draining**: its nodes are created (``cc.begin``) as soon as
+batch *k* is dispatched.  Admission is deliberately limited to node
+creation — an admitted node carries no records and no edges, so it cannot
+influence any concurrency-control decision for batch *k*.  Batch *k+1*'s
+*operations* are released only when batch *k*'s last transaction commits.
+
+That release rule is what makes the committed execution order of every
+batch **byte-identical** to running the same batches through
+:meth:`CERunner.run_batch <repro.ce.runner.CERunner.run_batch>` one at a
+time (same ``Environment``, same runner, same RNG): at each boundary the
+graph is quiescent — every node either committed or still edge-less — so
+pruning the committed history (below) leaves the controller equivalent to
+the fresh controller the batch-at-a-time path would build, and the worker
+pool picks up the new batch's transactions in the same order, drawing the
+shared RNG in the same sequence.  Releasing operations *before* the
+boundary would let batch *k+1* writers abort batch *k* readers and change
+batch *k*'s schedule; the runner trades that last sliver of overlap for a
+bit-for-bit reproducibility guarantee the consensus layer can rely on.
+
+Committed-node pruning
+----------------------
+A single graph over an unbounded stream would grow forever.  At every
+batch boundary the runner calls
+:meth:`ConcurrencyController.prune_committed
+<repro.ce.controller.ConcurrencyController.prune_committed>`, which evicts
+every committed node satisfying the safety condition documented in
+:mod:`repro.ce.depgraph` — at a quiescent boundary that is the *entire*
+committed history, so the graph's node count plateaus at (roughly) one
+batch of committed nodes plus one admitted batch, independent of stream
+length.  :class:`StreamResult` records the node count before and after
+each boundary prune so benchmarks can assert the plateau
+(``benchmarks/bench_streaming_runner.py`` does exactly that; pass
+``prune=False`` to see the unbounded alternative).
+
+Usage
+-----
+>>> runner = StreamingRunner(registry, CEConfig(executors=8), make_rng(0))
+>>> proc = runner.run_stream(env, batches, base_state)
+>>> env.run()
+>>> result = proc.value            # a StreamResult
+>>> [b.order for b in result.batches]   # per-batch committed orders
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.ce.controller import CCStats, CommittedTx, ConcurrencyController
+from repro.ce.runner import BatchResult, CEConfig, CERunner
+from repro.contracts.contract import ContractRegistry
+from repro.errors import SerializationError
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource, Store
+from repro.txn import Transaction
+
+
+@dataclass
+class StreamResult:
+    """Everything one streamed run produces.
+
+    ``graph_nodes_pre_prune[k]`` / ``graph_nodes_post_prune[k]`` sample the
+    dependency graph's node count at batch ``k``'s boundary, immediately
+    before and after the pruning pass — the pre-prune series is the
+    bounded-memory evidence (it plateaus instead of growing with ``k``).
+    """
+
+    batches: List[BatchResult]
+    graph_nodes_pre_prune: List[int]
+    graph_nodes_post_prune: List[int]
+    pruned_per_batch: List[int]
+    stats: CCStats
+    started_at: float
+    finished_at: float
+
+    @property
+    def committed_count(self) -> int:
+        return sum(len(batch.committed) for batch in self.batches)
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second over the stream."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.committed_count / self.elapsed
+
+    @property
+    def peak_graph_nodes(self) -> int:
+        return max(self.graph_nodes_pre_prune, default=0)
+
+    def orders(self) -> List[List[int]]:
+        """Per-batch committed execution orders (tx ids)."""
+        return [batch.order for batch in self.batches]
+
+
+@dataclass
+class _BatchState:
+    """Mutable bookkeeping for one in-flight batch; presents the ``owned``
+    / ``first_start`` / ``re_executions`` interface `CERunner._execute`
+    expects."""
+
+    index: int
+    transactions: List[Transaction]
+    done: Any                      # Event: triggered at last commit
+    started_at: float = 0.0
+    committed_count: int = 0
+    re_executions: int = 0
+    graph_nodes_at_boundary: int = 0
+    owned: set = field(default_factory=set)
+    first_start: Dict[int, float] = field(default_factory=dict)
+    latencies: Dict[int, float] = field(default_factory=dict)
+    by_id: Dict[int, Transaction] = field(default_factory=dict)
+    #: tx id -> pre-begun TxNode, filled at admission, drained at dispatch.
+    nodes: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.transactions)
+
+
+class StreamingRunner(CERunner):
+    """Feeds a continuous stream of transaction batches into one long-lived
+    Concurrent Executor (see the module docstring for the semantics)."""
+
+    def __init__(self, registry: ContractRegistry, config: CEConfig,
+                 rng: random.Random, prune: bool = True) -> None:
+        super().__init__(registry, config, rng)
+        self.prune = prune
+        self.last_cc: Optional[ConcurrencyController] = None
+
+    def run_stream(self, env: Environment,
+                   batches: Iterable[List[Transaction]],
+                   base_state: Mapping[str, Any], default: Any = 0):
+        """Start the stream as a process; its value is a
+        :class:`StreamResult`.
+
+        ``batches`` may be any iterable (including a generator producing
+        batches lazily); it is pulled one batch ahead of execution so the
+        next batch can be admitted into the graph while the current one
+        drains.
+        """
+        return env.process(self._run_stream(env, batches, base_state,
+                                            default))
+
+    # ------------------------------------------------------------ internals
+
+    def _run_stream(self, env: Environment,
+                    batches: Iterable[List[Transaction]],
+                    base_state: Mapping[str, Any], default: Any):
+        source = iter(batches)
+        queue: Store = Store(env)
+        #: tx id -> its batch, for commit/abort routing; ids leave the map
+        #: when their batch completes, so it stays one-to-two batches wide.
+        routes: Dict[int, _BatchState] = {}
+
+        def on_abort(tx_id: int) -> None:
+            batch = routes[tx_id]
+            if tx_id not in batch.owned:
+                # Cascade-aborted after finalization: nobody owns it.
+                batch.re_executions += 1
+                queue.put((batch.by_id[tx_id], batch, None))
+
+        def on_commit(entry: CommittedTx) -> None:
+            batch = routes[entry.tx_id]
+            batch.latencies[entry.tx_id] = env.now - batch.first_start.get(
+                entry.tx_id, batch.started_at)
+            batch.committed_count += 1
+            if batch.committed_count >= batch.total \
+                    and not batch.done.triggered:
+                batch.done.succeed()
+
+        cc = ConcurrencyController(base_state, default=default,
+                                   on_abort=on_abort, on_commit=on_commit)
+        self.last_cc = cc
+        cc_gate = Resource(env, capacity=1)
+        for _ in range(self.config.executors):
+            env.process(self._stream_worker(env, queue, cc, cc_gate))
+
+        def admit(index: int) -> Optional[_BatchState]:
+            """Pull the next batch and admit its nodes into the graph."""
+            try:
+                transactions = list(next(source))
+            except StopIteration:
+                return None
+            batch = _BatchState(index=index, transactions=transactions,
+                                done=env.event())
+            for tx in transactions:
+                if tx.tx_id in batch.by_id or tx.tx_id in routes:
+                    raise SerializationError(
+                        f"duplicate tx id {tx.tx_id} in stream window")
+                batch.by_id[tx.tx_id] = tx
+                routes[tx.tx_id] = batch
+                batch.nodes[tx.tx_id] = cc.begin(tx.tx_id, now=env.now)
+            return batch
+
+        def dispatch(batch: _BatchState) -> None:
+            """Release the batch's operations to the worker pool."""
+            batch.started_at = env.now
+            for tx in batch.transactions:
+                queue.put((tx, batch, batch.nodes.pop(tx.tx_id)))
+            if batch.total == 0 and not batch.done.triggered:
+                batch.done.succeed()
+
+        results: List[BatchResult] = []
+        pre_prune: List[int] = []
+        post_prune: List[int] = []
+        pruned: List[int] = []
+        started_at = env.now
+        stats_mark = replace(cc.stats)
+
+        current = admit(0)
+        if current is not None:
+            dispatch(current)
+        upcoming = admit(1) if current is not None else None
+        while current is not None:
+            yield current.done
+            current.graph_nodes_at_boundary = len(cc.graph.nodes)
+            pre_prune.append(len(cc.graph.nodes))
+            pruned.append(cc.prune_committed() if self.prune else 0)
+            post_prune.append(len(cc.graph.nodes))
+            stats_now = replace(cc.stats)
+            results.append(self._batch_result(env, cc, current, stats_mark,
+                                              stats_now))
+            stats_mark = stats_now
+            for tx_id in current.by_id:
+                routes.pop(tx_id, None)
+            current = upcoming
+            if current is not None:
+                dispatch(current)
+                upcoming = admit(current.index + 1)
+        for _ in range(self.config.executors):
+            queue.put(self._SHUTDOWN)
+        return StreamResult(
+            batches=results,
+            graph_nodes_pre_prune=pre_prune,
+            graph_nodes_post_prune=post_prune,
+            pruned_per_batch=pruned,
+            stats=replace(cc.stats),
+            started_at=started_at,
+            finished_at=env.now,
+        )
+
+    def _stream_worker(self, env: Environment, queue: Store,
+                       cc: ConcurrencyController, cc_gate: Resource):
+        while True:
+            item = yield queue.get()
+            if item is self._SHUTDOWN:
+                return
+            tx, batch, node = item
+            yield from self._execute(env, tx, cc, cc_gate, batch, node=node)
+
+    @staticmethod
+    def _batch_result(env: Environment, cc: ConcurrencyController,
+                      batch: _BatchState, before: CCStats,
+                      after: CCStats) -> BatchResult:
+        """Package one completed batch exactly like the batch-at-a-time
+        runner would: entries rebased to batch-local order indexes, stats
+        as the delta accumulated while the batch ran."""
+        base = after.commits - batch.committed_count
+        committed = [replace(entry, order_index=entry.order_index - base)
+                     for entry in cc.harvest_committed()]
+        delta = CCStats(**{name: getattr(after, name) - getattr(before, name)
+                           for name in vars(after)})
+        return BatchResult(
+            committed=committed,
+            elapsed=env.now - batch.started_at if batch.total else 0.0,
+            started_at=batch.started_at if batch.total else env.now,
+            finished_at=env.now,
+            re_executions=batch.re_executions,
+            latencies=dict(batch.latencies),
+            stats=delta,
+            graph_nodes=batch.graph_nodes_at_boundary,
+        )

@@ -45,6 +45,13 @@ class ClusterResult:
     reconfigurations: int
     dropped_transactions: int
     blocks_committed: int
+    #: Concurrency-controller health across every preplayed batch: query
+    #: volume on the reachability index, lazy rebuilds it paid, committed
+    #: nodes pruned, and the dependency graph's node high-water mark.
+    cc_path_queries: int
+    cc_index_rebuilds: int
+    cc_nodes_pruned: int
+    ce_peak_graph_nodes: int
     metrics: MetricsCollector
 
     def __str__(self) -> str:  # pragma: no cover - convenience
@@ -177,6 +184,10 @@ class Cluster:
             reconfigurations=len(metrics.reconfigurations),
             dropped_transactions=metrics.dropped_transactions,
             blocks_committed=metrics.blocks_committed,
+            cc_path_queries=metrics.cc_path_queries,
+            cc_index_rebuilds=metrics.cc_index_rebuilds,
+            cc_nodes_pruned=metrics.cc_nodes_pruned,
+            ce_peak_graph_nodes=metrics.ce_peak_graph_nodes,
             metrics=metrics,
         )
 

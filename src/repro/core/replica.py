@@ -449,6 +449,7 @@ class Replica:
             if self.epoch != epoch_at_entry:
                 return None  # the batch was reported dropped by _reconfigure
             self.metrics.re_executions += result.re_executions
+            self.metrics.record_ce_batch(result.stats, result.graph_nodes)
             self._overlay.update(result.final_writes())
             preplay = tuple(PreplayEntry.from_committed(entry)
                             for entry in result.committed)

@@ -37,6 +37,12 @@ class MetricsCollector:
         self.dropped_transactions = 0
         self.blocks_committed = 0
         self.blocks_by_kind: Dict[str, int] = {}
+        # Concurrency-controller health, accumulated over every preplayed
+        # batch (see repro.ce.depgraph for what the counters mean).
+        self.cc_path_queries = 0
+        self.cc_index_rebuilds = 0
+        self.cc_nodes_pruned = 0
+        self.ce_peak_graph_nodes = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -61,6 +67,19 @@ class MetricsCollector:
 
     def record_reconfiguration(self, new_epoch: int, when: float) -> None:
         self.reconfigurations.append((new_epoch, when))
+
+    def record_ce_batch(self, stats, graph_nodes: int = 0) -> None:
+        """Fold one preplayed batch's concurrency-controller counters in.
+
+        ``stats`` is a :class:`repro.ce.controller.CCStats`;
+        ``graph_nodes`` the dependency graph's node count when the batch
+        completed (its high-water mark feeds capacity planning for
+        long-lived streaming controllers)."""
+        self.cc_path_queries += stats.path_queries
+        self.cc_index_rebuilds += stats.index_rebuilds
+        self.cc_nodes_pruned += stats.nodes_pruned
+        if graph_nodes > self.ce_peak_graph_nodes:
+            self.ce_peak_graph_nodes = graph_nodes
 
     # -- summaries ------------------------------------------------------------
 

@@ -40,6 +40,11 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        #: Events processed since construction.  Long-lived hosts (the
+        #: streaming runner, multi-batch clusters) report this as a proxy
+        #: for scheduler load: a healthy stream processes a flat number of
+        #: events per batch instead of an ever-growing one.
+        self.events_processed = 0
 
     # -- clock -------------------------------------------------------------
 
@@ -96,6 +101,7 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
         event._processed = True
         for callback in callbacks:

@@ -1,0 +1,258 @@
+"""Tests for the streaming multi-batch runner and committed-node pruning.
+
+Two properties carry the feature:
+
+* **Equivalence** — per-batch committed results from the streaming runner
+  are byte-identical to running the same batches through
+  ``CERunner.run_batch`` one at a time (same environment, same runner,
+  same RNG), with and without pruning.
+* **Boundedness** — with pruning, the dependency graph's node count
+  plateaus over a long stream instead of growing linearly.
+"""
+
+import pytest
+
+from repro.ce import (CEConfig, CERunner, ConcurrencyController, NodeStatus,
+                      StreamingRunner)
+from repro.contracts import default_registry, initial_state
+from repro.core.shards import ShardMap
+from repro.errors import SerializationError
+from repro.sim import Environment, make_rng
+from repro.txn import Transaction
+from repro.workloads import SmallBankWorkload, WorkloadConfig
+from repro.workloads.ycsb import (YCSBConfig, YCSBWorkload, register_ycsb,
+                                  initial_state as ycsb_state)
+from repro.contracts.contract import ContractRegistry
+
+
+def smallbank_batches(seed, n_batches, batch_size, accounts=64, theta=0.9):
+    workload = SmallBankWorkload(
+        WorkloadConfig(accounts=accounts, read_probability=0.5, theta=theta),
+        ShardMap(1), seed=seed)
+    return [workload.batch(batch_size) for _ in range(n_batches)]
+
+
+def run_batch_at_a_time(registry, batches, base_state, seed, executors):
+    """The reference: sequential run_batch calls in one environment,
+    feeding committed writes forward."""
+    env = Environment()
+    runner = CERunner(registry, CEConfig(executors=executors), make_rng(seed))
+    state = dict(base_state)
+    results = []
+    for txs in batches:
+        proc = runner.run_batch(env, txs, state)
+        env.run()
+        state.update(proc.value.final_writes())
+        results.append(proc.value)
+    return results
+
+
+def run_streaming(registry, batches, base_state, seed, executors,
+                  prune=True):
+    env = Environment()
+    runner = StreamingRunner(registry, CEConfig(executors=executors),
+                             make_rng(seed), prune=prune)
+    proc = runner.run_stream(env, batches, dict(base_state))
+    env.run()
+    assert proc.triggered, "stream deadlocked"
+    return proc.value, runner
+
+
+def fingerprint(result):
+    """Everything the preplay block publishes, per committed transaction."""
+    return [(entry.tx_id, entry.order_index,
+             tuple(sorted(entry.read_set.items())),
+             tuple(sorted(entry.write_set.items())),
+             entry.result, entry.attempts)
+            for entry in result.committed]
+
+
+# ---------------------------------------------------------------- equivalence
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("executors", [4, 16])
+def test_stream_matches_batch_at_a_time(seed, executors):
+    registry = default_registry()
+    batches = smallbank_batches(seed, n_batches=8, batch_size=30)
+    state = initial_state(64)
+    reference = run_batch_at_a_time(registry, batches, state, seed, executors)
+    streamed, _ = run_streaming(registry, batches, state, seed, executors)
+    assert len(streamed.batches) == len(reference)
+    for expected, actual in zip(reference, streamed.batches):
+        assert fingerprint(actual) == fingerprint(expected)
+        assert actual.re_executions == expected.re_executions
+        assert actual.latencies == expected.latencies
+        assert actual.elapsed == expected.elapsed
+        assert actual.started_at == expected.started_at
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_stream_matches_under_abort_storm(seed):
+    """High-contention YCSB: hundreds of re-executions, identical output."""
+    registry = ContractRegistry()
+    register_ycsb(registry)
+    workload = YCSBWorkload(
+        YCSBConfig(records=4, theta=0.99, read_fraction=0.5,
+                   update_fraction=0.0), ShardMap(1), seed=seed)
+    batches = [workload.batch(40) for _ in range(6)]
+    state = ycsb_state(4)
+    reference = run_batch_at_a_time(registry, batches, state, seed, 16)
+    assert sum(r.re_executions for r in reference) > 50  # storm happened
+    streamed, _ = run_streaming(registry, batches, state, seed, 16)
+    for expected, actual in zip(reference, streamed.batches):
+        assert fingerprint(actual) == fingerprint(expected)
+        assert actual.re_executions == expected.re_executions
+
+
+@pytest.mark.parametrize("seed", [0, 1, 4])
+def test_pruning_does_not_change_committed_orders(seed):
+    """The pruning path commits exactly what the non-pruning path commits."""
+    registry = default_registry()
+    batches = smallbank_batches(seed, n_batches=8, batch_size=30)
+    state = initial_state(64)
+    pruned, _ = run_streaming(registry, batches, state, seed, 8, prune=True)
+    plain, _ = run_streaming(registry, batches, state, seed, 8, prune=False)
+    assert [fingerprint(b) for b in pruned.batches] \
+        == [fingerprint(b) for b in plain.batches]
+    assert pruned.stats.nodes_pruned > 0
+    assert plain.stats.nodes_pruned == 0
+
+
+# --------------------------------------------------------------- boundedness
+
+def test_graph_stays_bounded_over_twenty_batches():
+    registry = default_registry()
+    batch_size = 25
+    batches = smallbank_batches(7, n_batches=20, batch_size=batch_size)
+    state = initial_state(64)
+    streamed, _ = run_streaming(registry, batches, state, 7, 8, prune=True)
+    assert len(streamed.graph_nodes_pre_prune) == 20
+    # Plateau: committed batch + the next admitted batch, never more.
+    assert streamed.peak_graph_nodes <= 2 * batch_size
+    assert max(streamed.graph_nodes_post_prune) <= batch_size
+    # After the final batch there is nothing left to admit or retain.
+    assert streamed.graph_nodes_post_prune[-1] == 0
+    assert streamed.stats.nodes_pruned == 20 * batch_size
+    # Contrast: without pruning the graph grows with the stream.
+    plain, _ = run_streaming(registry, batches, state, 7, 8, prune=False)
+    assert plain.peak_graph_nodes == 20 * batch_size
+
+
+def test_next_batch_admitted_while_current_drains():
+    """At each boundary the graph already holds batch k+1's nodes: the
+    pre-prune sample counts both the committed batch and the admitted one."""
+    registry = default_registry()
+    batches = smallbank_batches(11, n_batches=4, batch_size=20)
+    streamed, _ = run_streaming(registry, batches, initial_state(64), 11, 8)
+    assert streamed.graph_nodes_pre_prune[:-1] == [40, 40, 40]
+    assert streamed.graph_nodes_pre_prune[-1] == 20  # no batch to admit
+
+
+# ------------------------------------------------------------ prune unit tests
+
+def test_prune_quiescent_controller_evicts_everything():
+    cc = ConcurrencyController({"A": 1, "B": 2})
+    for tx_id, key, value in ((1, "A", 10), (2, "B", 20)):
+        node = cc.begin(tx_id)
+        assert cc.read(node, key) in (1, 2)
+        cc.write(node, key, value)
+        cc.finish(node)
+    assert len(cc.graph.nodes) == 2
+    assert cc.prune_committed() == 2
+    assert len(cc.graph.nodes) == 0
+    # Reads fall through to the overlay and see the committed values.
+    probe = cc.begin(3)
+    assert cc.read(probe, "A") == 10
+    assert cc.read(probe, "B") == 20
+    assert cc.stats.nodes_pruned == 2
+    assert cc.stats.prune_passes == 1
+
+
+def test_prune_spares_keys_with_live_holders():
+    """A committed writer whose key a live transaction read must stay: the
+    key cohort includes a non-committed holder."""
+    cc = ConcurrencyController({"K": 0, "L": 0})
+    writer = cc.begin(1)
+    cc.write(writer, "K", 5)
+    cc.finish(writer)
+    other = cc.begin(2)
+    cc.write(other, "L", 7)
+    cc.finish(other)
+    reader = cc.begin(3)
+    assert cc.read(reader, "K") == 5  # live read record on K
+    assert cc.prune_committed() == 1  # only the L writer is safe
+    assert cc.graph.get(1) is writer
+    assert cc.graph.get(2) is None
+    assert writer.status is NodeStatus.COMMITTED
+
+
+def test_prune_spares_nodes_with_edges_to_survivors():
+    """Edge-closure: a committed node wired to a retained node survives."""
+    cc = ConcurrencyController({"K": 0})
+    writer = cc.begin(1)
+    cc.write(writer, "K", 5)
+    cc.finish(writer)
+    reader = cc.begin(2)
+    assert cc.read(reader, "K") == 5   # rf edge writer -> reader
+    cc.finish(reader)                  # both committed, edge between them
+    live = cc.begin(3)
+    assert cc.read(live, "K") == 5     # live holder pins the K cohort
+    assert cc.prune_committed() == 0
+    cc.finish(live)
+    assert cc.prune_committed() == 3   # quiescent again: all three go
+
+
+def test_harvest_committed_keeps_order_indexes_monotonic():
+    cc = ConcurrencyController({"A": 0})
+    for tx_id in (1, 2):
+        node = cc.begin(tx_id)
+        cc.write(node, "A", tx_id)
+        cc.finish(node)
+    first = cc.harvest_committed()
+    assert [entry.order_index for entry in first] == [0, 1]
+    assert cc.committed == []
+    node = cc.begin(3)
+    cc.write(node, "A", 3)
+    cc.finish(node)
+    second = cc.harvest_committed()
+    assert [entry.order_index for entry in second] == [2]
+    assert cc.attempts_of(3) == 0  # attempt counters released
+
+
+# ---------------------------------------------------------------- edge cases
+
+def test_empty_stream_and_empty_batches():
+    registry = default_registry()
+    streamed, _ = run_streaming(registry, [], initial_state(8), 0, 4)
+    assert streamed.batches == []
+    assert streamed.committed_count == 0
+    batches = smallbank_batches(5, n_batches=2, batch_size=10)
+    with_gaps = [batches[0], [], batches[1], []]
+    streamed, _ = run_streaming(registry, with_gaps, initial_state(64), 5, 4)
+    assert [len(b.committed) for b in streamed.batches] == [10, 0, 10, 0]
+    reference = run_batch_at_a_time(registry, with_gaps, initial_state(64),
+                                    5, 4)
+    for expected, actual in zip(reference, streamed.batches):
+        assert fingerprint(actual) == fingerprint(expected)
+
+
+def test_duplicate_ids_in_stream_window_rejected():
+    registry = default_registry()
+    (batch,) = smallbank_batches(0, n_batches=1, batch_size=5)
+    env = Environment()
+    runner = StreamingRunner(registry, CEConfig(executors=2), make_rng(0))
+    runner.run_stream(env, [batch, batch], initial_state(64))
+    with pytest.raises(SerializationError):
+        env.run()
+
+
+def test_stream_reports_bounded_controller_buffers():
+    """The controller's committed buffer and attempt map are drained per
+    batch, so a long stream doesn't accumulate them."""
+    registry = default_registry()
+    batches = smallbank_batches(3, n_batches=6, batch_size=15)
+    _, runner = run_streaming(registry, batches, initial_state(64), 3, 4)
+    cc = runner.last_cc
+    assert cc.committed == []
+    assert cc._attempts == {}
+    assert len(cc.graph.nodes) == 0

@@ -43,6 +43,14 @@ def test_run_drains_queue(env):
     assert env.now == 2
 
 
+def test_events_processed_counter(env):
+    assert env.events_processed == 0
+    env.timeout(1)
+    env.timeout(2)
+    env.run()
+    assert env.events_processed == 2
+
+
 def test_step_on_empty_queue_raises(env):
     with pytest.raises(SimulationError):
         env.step()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the repo's Markdown documentation.
+
+Scans ``README.md`` plus every ``*.md`` under ``docs/`` for Markdown links
+and images.  External targets (``http(s)://``, ``mailto:``) are ignored;
+everything else must resolve to an existing file or directory relative to
+the linking document, and a ``#fragment`` pointing into a Markdown file
+must match one of that file's headings (GitHub-style slugs).
+
+Run from anywhere:  ``python tools/check_links.py``
+Exits 1 if any link is broken (the count is printed), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` and ``![alt](target)``; stops at the first unescaped
+#: closing parenthesis, which is fine for the links this repo writes.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def documents():
+    found = [REPO_ROOT / "README.md"]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        found.extend(sorted(docs.rglob("*.md")))
+    return [path for path in found if path.is_file()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def strip_code_spans(text: str) -> str:
+    """Remove fenced code blocks so example snippets aren't link-checked."""
+    out, in_code_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if not in_code_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_document(path: Path) -> list:
+    problems = []
+    for target in LINK_PATTERN.findall(strip_code_spans(
+            path.read_text(encoding="utf-8"))):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                            f"-> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor "
+                    f"#{fragment} in {base or path.name}")
+    return problems
+
+
+def main() -> int:
+    checked = documents()
+    problems = []
+    for document in checked:
+        problems.extend(check_document(document))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(checked)} documents: "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
