@@ -14,14 +14,19 @@ Two measurements:
   the reference DFS (:meth:`DependencyGraph._has_path_dfs`).
 * **cc-stress** — a 500-transaction high-contention YCSB-F batch (50%
   reads / 50% read-modify-writes over 4 hot records, theta = 0.99) through
-  the real DES executor pool, once with a seed-faithful graph (DFS queries
-  + bridge-every-pair detach) and once with the index.  Committed results
-  must be identical; the wall-clock ratio is the end-to-end win and is
-  asserted >= 5x.
+  the real DES executor pool, three ways: a seed-faithful graph (DFS
+  queries + bridge-every-pair detach), the PR-1 index with lazy
+  generation-bump invalidation on every abort, and the current index with
+  decremental repair.  Committed results must be identical across all
+  three; the wall-clock ratio vs seed is the end-to-end win (asserted
+  >= 5x), and the decremental graph must pay <= 10 full rebuilds where
+  the lazy one pays one per abort cascade (~300).
 
-Measured on the reference container (default scale): micro ~20-25x per
-query (~6200ns -> ~250ns), cc-stress ~6-7x end-to-end (~2s -> ~0.3s) with
-~480 re-executions and ~107k path queries.
+Measured on the reference container (default scale): micro ~20x per query
+(~18000ns -> ~900ns), cc-stress ~6x end-to-end for the lazy index
+(~5.5s -> ~0.9s, 305 rebuilds) and ~27x for the decremental index
+(~0.2s, 1 rebuild / 480 in-place repairs), with ~480 re-executions and
+~107k path queries either way.
 """
 
 from __future__ import annotations
@@ -49,6 +54,28 @@ MICRO_QUERIES = scaled(40_000, 20_000, 5_000)
 STRESS_TXS = scaled(800, 500, 150)
 STRESS_RECORDS = 4
 STRESS_THETA = 0.99
+#: End-to-end speedup floor vs the seed DFS.  The win grows with batch
+#: size (the DFS is the O(n^3) term), so the quick smoke scale only
+#: supports a modest floor.
+STRESS_SPEEDUP_FLOOR = scaled(5.0, 5.0, 1.3)
+
+
+class LazyRebuildDependencyGraph(DependencyGraph):
+    """The PR-1 behavior: every detach of an indexed node invalidates the
+    whole closure (generation bump + lazy rebuild at the next query)
+    instead of repairing the bitsets in place."""
+
+    def _index_detach(self, node, owner):
+        serial = node._index_serial
+        if serial is not None and serial < len(owner._indexed) \
+                and owner._indexed[serial] is node:
+            owner._indexed[serial] = None
+            owner._index_holes += 1
+        node._index_serial = None
+        node._index_owner = None
+        owner._gen += 1
+        if owner is not self:
+            self._gen += 1
 
 
 class SeedDependencyGraph(DependencyGraph):
@@ -150,6 +177,7 @@ def run_stress(graph_cls) -> dict:
         "re_exec": result.re_executions,
         "path_queries": result.stats.path_queries,
         "index_rebuilds": result.stats.index_rebuilds,
+        "index_repairs": result.stats.index_repairs,
         "edge_count": runner.last_state.cc.graph.edge_count(),
     }
 
@@ -185,27 +213,45 @@ def test_reachability_micro(benchmark, fig_table):
 
 @pytest.mark.benchmark(group="depgraph-reachability")
 def test_cc_stress_high_contention(benchmark, fig_table):
-    """End-to-end: the acceptance scenario, seed graph vs indexed graph."""
+    """End-to-end: the acceptance scenario — seed DFS vs lazy-rebuild
+    index vs decremental-repair index, byte-identical committed orders."""
     def run():
-        return run_stress(SeedDependencyGraph), run_stress(DependencyGraph)
+        return (run_stress(SeedDependencyGraph),
+                run_stress(LazyRebuildDependencyGraph),
+                run_stress(DependencyGraph))
 
-    seed_run, indexed_run = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert indexed_run["order"] == seed_run["order"], \
-        "index changed the committed execution order"
-    assert indexed_run["writes"] == seed_run["writes"]
-    assert indexed_run["re_exec"] == seed_run["re_exec"]
-    speedup = seed_run["wall"] / indexed_run["wall"]
-    for label, run_info in (("seed-dfs", seed_run), ("indexed", indexed_run)):
+    seed_run, lazy_run, repaired_run = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    for other in (lazy_run, repaired_run):
+        assert other["order"] == seed_run["order"], \
+            "index changed the committed execution order"
+        assert other["writes"] == seed_run["writes"]
+        assert other["re_exec"] == seed_run["re_exec"]
+    speedup = seed_run["wall"] / repaired_run["wall"]
+    for label, run_info in (("seed-dfs", seed_run),
+                            ("lazy-rebuild", lazy_run),
+                            ("decremental", repaired_run)):
         fig_table.add(label, STRESS_TXS, round(run_info["wall"], 3),
                       run_info["path_queries"], run_info["index_rebuilds"],
-                      run_info["edge_count"],
+                      run_info["index_repairs"], run_info["edge_count"],
                       f"{seed_run['wall'] / run_info['wall']:.1f}x")
     fig_table.show(
         f"CC stress - {STRESS_TXS} tx YCSB-F, {STRESS_RECORDS} records, "
         f"theta={STRESS_THETA}, 16 executors",
-        ["graph", "txs", "wall_s", "path_queries", "rebuilds",
+        ["graph", "txs", "wall_s", "path_queries", "rebuilds", "repairs",
          "final_edges", "speedup"])
     benchmark.extra_info["speedup"] = round(speedup, 1)
     benchmark.extra_info["seed_wall"] = round(seed_run["wall"], 3)
-    benchmark.extra_info["indexed_wall"] = round(indexed_run["wall"], 3)
-    assert speedup >= 5.0, f"CC stress only {speedup:.1f}x faster"
+    benchmark.extra_info["lazy_wall"] = round(lazy_run["wall"], 3)
+    benchmark.extra_info["repaired_wall"] = round(repaired_run["wall"], 3)
+    benchmark.extra_info["lazy_rebuilds"] = lazy_run["index_rebuilds"]
+    benchmark.extra_info["repaired_rebuilds"] = repaired_run["index_rebuilds"]
+    assert speedup >= STRESS_SPEEDUP_FLOOR, \
+        f"CC stress only {speedup:.1f}x faster"
+    # The tentpole claim: aborts stop invalidating the closure.  The lazy
+    # index pays roughly one rebuild per abort cascade; the decremental
+    # one pays the first build plus at most a handful of fallbacks.
+    assert repaired_run["index_rebuilds"] <= 10, repaired_run
+    assert lazy_run["index_rebuilds"] >= 10 * repaired_run["index_rebuilds"]
+    assert repaired_run["wall"] <= lazy_run["wall"], \
+        "decremental repair slower than rebuilding every abort"

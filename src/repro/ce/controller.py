@@ -41,12 +41,14 @@ R4 (commit): when T commits, every other live writer of each key T wrote
 
 Every rule above is phrased in terms of ``DependencyGraph.has_path``; the
 graph answers those queries from an incremental transitive-closure index
-(O(1) bit test per query, Italiano-style propagation on ``add_edge``, lazy
-generation-counter rebuild after an abort detaches a node — see the
-:mod:`repro.ce.depgraph` module docstring for the invalidation strategy and
-complexity).  :class:`CCStats` surfaces the query volume as
-``path_queries`` and the abort-driven invalidation rate as
-``index_rebuilds``.
+(O(1) bit test per query, Italiano-style propagation on ``add_edge``,
+decremental in-place repair when an abort detaches a node, with a
+generation-counter lazy rebuild kept only as the fallback — see the
+:mod:`repro.ce.depgraph` module docstring and ``docs/REACHABILITY.md``
+for the repair argument and the decision rule).  :class:`CCStats`
+surfaces the query volume as ``path_queries``, the per-abort repair
+traffic as ``index_repairs``/``repair_frontier_nodes``, and the residual
+rebuild rate as ``index_rebuilds``/``repair_fallbacks``.
 
 Long-lived use (streaming)
 --------------------------
@@ -90,7 +92,10 @@ class CCStats:
     commits: int = 0
     conflict_repairs: int = 0  # reads repaired by the ancestor fallback
     path_queries: int = 0      # has_path() calls answered by the index
-    index_rebuilds: int = 0    # lazy closure rebuilds after aborts
+    index_rebuilds: int = 0    # full closure rebuilds (first build + fallbacks)
+    index_repairs: int = 0     # aborts absorbed in place by decremental repair
+    repair_frontier_nodes: int = 0  # cone members touched across all repairs
+    repair_fallbacks: int = 0  # detaches that invalidated instead of repairing
     nodes_pruned: int = 0      # committed nodes evicted from the graph
     prune_passes: int = 0      # prune_committed() invocations
 
@@ -140,6 +145,9 @@ class ConcurrencyController:
         """Live counters; graph-owned index counters are synced on access."""
         self._stats.path_queries = self.graph.path_queries
         self._stats.index_rebuilds = self.graph.index_rebuilds
+        self._stats.index_repairs = self.graph.index_repairs
+        self._stats.repair_frontier_nodes = self.graph.repair_frontier_nodes
+        self._stats.repair_fallbacks = self.graph.repair_fallbacks
         self._stats.nodes_pruned = self.graph.nodes_pruned
         return self._stats
 

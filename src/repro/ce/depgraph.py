@@ -32,18 +32,32 @@ O(n^3); instead the graph maintains a transitive-closure index:
   ancestor of ``u`` and ``up[u]`` into every descendant of ``v`` —
   O((|up(u)| + |down(v)|) * V/w) word operations, nothing when the edge is
   redundant;
-* ``detach_node`` (aborts) cannot be handled incrementally without a
-  decremental-reachability structure, so it just bumps a *generation
-  counter* — O(1) — and the next query lazily rebuilds the index from the
-  live adjacency in topological order, O(V + E) set unions.  Serials are
-  compacted at every rebuild so bitsets stay as dense as the live graph.
+* ``detach_node`` (aborts) repairs the closure *decrementally*.  General
+  decremental reachability is hard because an edge deletion can sever
+  paths, but this graph's detach protocol makes it trivial: every
+  (predecessor, successor) ordering observed through the departing node
+  is re-established by a ``BRIDGE`` edge in the same pass, so removal
+  never changes reachability among the survivors.  The whole repair is
+  therefore clearing the node's bit from its ancestors' ``down`` sets and
+  its descendants' ``up`` sets — the *affected cone*, O(|up| + |down|)
+  single-bit word operations — after which the bridge insertions are
+  index no-ops (each bridged pair is already marked reachable).  The
+  node's serial becomes a *hole* that the next full rebuild compacts
+  away.  See :meth:`DependencyGraph._index_detach` for the repair-vs-
+  rebuild decision rule: when the repair is inapplicable (index already
+  stale, serial space hole-dominated, cone above ``repair_max_cone``) the
+  detach falls back to the legacy scheme — bump a *generation counter*
+  (O(1)) and let the next query rebuild from the live adjacency in
+  topological order, O(V + E) set unions, compacting serials.
 * ``has_path`` is then a single bit test, O(1).
 
 The index is an exact mirror of the adjacency lists: answers are identical
 to the reference DFS (kept as :meth:`DependencyGraph._has_path_dfs` for
 tests and benchmarks), so controller behavior is bit-for-bit unchanged.
-``path_queries`` / ``index_rebuilds`` counters feed :class:`CCStats` so
-Fig. 11-style runs can report the query load and invalidation rate.
+``path_queries`` / ``index_rebuilds`` / ``index_repairs`` /
+``repair_frontier_nodes`` / ``repair_fallbacks`` counters feed
+:class:`CCStats` so Fig. 11-style runs can report the query load, the
+(now rare) rebuild rate, and the per-abort repair cost.
 
 Closure-index invariants
 ------------------------
@@ -52,12 +66,15 @@ Closure-index invariants
    adjacency lists whenever ``_built_gen == _gen``.
 2. *Self-inclusion*: every indexed node's ``down``/``up`` bitsets contain
    its own bit.
-3. *Staleness is explicit*: any mutation the closure cannot absorb
-   incrementally (node detach, node eviction, ownership steal) bumps
-   ``_gen``; queries never read bitsets while ``_built_gen != _gen``.
-4. *Serial density*: after every rebuild, serials are a compaction of the
-   surviving nodes, so bitset width tracks the live graph, not its
-   history.
+3. *Staleness is explicit*: any mutation the closure cannot absorb in
+   place (a repair fallback, an ownership steal) bumps ``_gen``; queries
+   never read bitsets while ``_built_gen != _gen``.
+4. *Serial density is amortized*: a detach or eviction absorbed in place
+   leaves a hole instead of forcing a rebuild, but once holes outnumber
+   live serials the mutation falls back to a generation bump, so the next
+   query's rebuild compacts and bitset width stays within ~2x the live
+   graph.  (A full reference for invariants 1-4, the repair argument, and
+   the decision rule lives in ``docs/REACHABILITY.md``.)
 
 Committed-node pruning
 ----------------------
@@ -84,8 +101,12 @@ such that:
 Under 1–3 the controller's observable behavior — values read, aborts,
 commit order — is unchanged by the eviction; only edges *touching* a
 victim (which cannot influence any surviving decision) disappear.
-Eviction marks index holes and bumps the generation counter, so the next
-query's rebuild compacts the bitsets down to the surviving graph.
+Clause 1 also makes eviction free for the closure index: victims form
+closed components, so no surviving bitset carries a victim's bit and the
+eviction just punches holes into the serial space in place — no
+generation bump, no rebuild.  Once holes outnumber live serials the pass
+schedules one compacting rebuild (invariant 4), which is how a streaming
+controller keeps its bitset width plateaued over an unbounded stream.
 
 Determinism note: all collections that the controller iterates are dicts
 used as ordered sets, so runs are reproducible (plain ``set`` of objects
@@ -233,7 +254,8 @@ class DependencyGraph:
         #: permanent per graph, so nodes carry them in a slot and no
         #: id()-keyed lookups are needed on the hot path.
         self._indexed: List[Optional[TxNode]] = []
-        #: Invalidation generation; bumped by ``detach_node``.
+        #: Invalidation generation; bumped only when a mutation cannot be
+        #: absorbed in place (repair fallback, ownership steal).
         self._gen = 0
         #: Generation the bitsets below were built for; ``!= _gen`` means
         #: the index is stale and the next query rebuilds it.
@@ -241,9 +263,23 @@ class DependencyGraph:
         #: serial -> descendant / ancestor bitsets (self bit included).
         self._down: List[int] = []
         self._up: List[int] = []
+        #: Hole slots in ``_indexed`` (detached/evicted serials awaiting
+        #: compaction); invariant 4's fallback trigger compares it to the
+        #: live serial count.
+        self._index_holes = 0
+        #: Repair-vs-rebuild threshold: a detach whose affected cone
+        #: (ancestors + descendants) exceeds this falls back to the lazy
+        #: rebuild.  The repair is asymptotically never slower than a
+        #: rebuild, so this is a worst-case single-detach latency guard
+        #: for enormous hand-built graphs, not a tuning knob the
+        #: controller's workloads reach.
+        self.repair_max_cone = 1 << 16
         #: Counters surfaced through :class:`repro.ce.controller.CCStats`.
         self.path_queries = 0
         self.index_rebuilds = 0
+        self.index_repairs = 0
+        self.repair_frontier_nodes = 0
+        self.repair_fallbacks = 0
         self.nodes_pruned = 0
 
     # -- node lifecycle ------------------------------------------------------
@@ -273,11 +309,15 @@ class DependencyGraph:
         and never touches other aborted nodes (their adjacency must stay
         empty).
 
-        The index cannot cheaply *remove* a node's contribution, so this
-        bumps the generation counter (O(1)) and leaves the rebuild to the
-        next external ``has_path``; the bridge decisions below run on a
-        DFS over the post-removal adjacency instead of forcing a rebuild
-        per abort (cascades then cost one rebuild total, not one each).
+        Because bridging preserves every surviving ordering and invents
+        none, removal leaves the closure over the survivors untouched —
+        so :meth:`_index_detach` repairs the bitsets in place (clear this
+        node's bit from its ancestor/descendant cone) instead of
+        invalidating the whole index, falling back to the generation-bump
+        lazy rebuild only per the decision rule documented there.  The
+        bridge decisions below run on a DFS over the post-removal
+        adjacency either way (the repaired index describes the *final*
+        graph, bridges included, so it cannot drive its own bridging).
 
         Returns the former out-neighbours (the controller re-checks their
         commit eligibility).  Read-from back-references are cleaned so the
@@ -303,20 +343,9 @@ class DependencyGraph:
         node.in_edges.clear()
         owner = node._index_owner
         if owner is not None:
-            serial = node._index_serial
-            if serial is not None and serial < len(owner._indexed) \
-                    and owner._indexed[serial] is node:
-                owner._indexed[serial] = None
-            node._index_serial = None
-            node._index_owner = None
-            # Invalidate the graph whose bitsets carry this node's bit —
-            # the owner, which under hand-built sharing may not be us
-            # (plus ourselves, in case of an earlier claim).  An edge-less
-            # node was never indexed and skips this, so aborts of
-            # conflict-free transactions cost no rebuild.
-            owner._gen += 1
-            if owner is not self:
-                self._gen += 1
+            # An edge-less node was never indexed and skips this, so
+            # aborts of conflict-free transactions cost nothing.
+            self._index_detach(node, owner)
         for predecessor in predecessors:
             if not successors:
                 break
@@ -332,6 +361,85 @@ class DependencyGraph:
                 reached.add(id(successor))
                 self._collect_descendants(reached, successor)
         return former_out
+
+    def _index_detach(self, node: TxNode, owner: "DependencyGraph") -> None:
+        """Absorb an indexed node's departure into the closure, in place
+        when possible.
+
+        **Repair** (the common case): clear the node's bit from ``down``
+        of every ancestor and ``up`` of every descendant — the *affected
+        cone*, read straight from the node's own bitsets — and mark its
+        serial as a hole.  Bridging (run by the caller afterwards) keeps
+        reachability among survivors identical to before the removal, so
+        this is the entire repair and invariant 1 holds throughout; the
+        subsequent bridge ``add_edge`` calls find their pairs already
+        marked reachable and cost one bit test each.
+
+        **Fallback** (bump the generation counter; the next query
+        rebuilds from adjacency and compacts serials) when the repair is
+        unavailable or a rebuild is due anyway:
+
+        * the bitsets don't carry this node's contribution — index
+          already stale, or the node is owned by another graph under
+          hand-built sharing (then *both* graphs are invalidated, as
+          before);
+        * holes would outnumber live serials — the serial space is
+          garbage-dominated and a compacting rebuild is the cheaper way
+          to pay the debt (invariant 4);
+        * the cone exceeds ``repair_max_cone`` — a worst-case
+          single-detach latency guard.
+
+        Only the last two count as ``repair_fallbacks``: they are the
+        decision rule choosing a rebuild, whereas a stale index already
+        had one scheduled.
+        """
+        serial = node._index_serial
+        slot_ok = (serial is not None and serial < len(owner._indexed)
+                   and owner._indexed[serial] is node)
+        if slot_ok:
+            owner._indexed[serial] = None
+            owner._index_holes += 1
+        node._index_serial = None
+        node._index_owner = None
+        if owner is not self:
+            owner._gen += 1
+            self._gen += 1
+            return
+        if not slot_ok or self._built_gen != self._gen:
+            self._gen += 1
+            return
+        if self._index_holes == len(self._indexed):
+            # This detach emptied the index.  No live bitset can mention
+            # the departed node (none are left), so resetting to an empty
+            # — trivially exact — index is the whole repair.
+            self._index_reset_empty()
+            self.index_repairs += 1
+            return
+        mask = 1 << serial
+        ancestors = self._up[serial] & ~mask
+        descendants = self._down[serial] & ~mask
+        cone = ancestors.bit_count() + descendants.bit_count()
+        if cone > self.repair_max_cone \
+                or 2 * self._index_holes > len(self._indexed):
+            self.repair_fallbacks += 1
+            self._gen += 1
+            return
+        down = self._down
+        up = self._up
+        remaining = ancestors
+        while remaining:
+            low = remaining & -remaining
+            down[low.bit_length() - 1] &= ~mask
+            remaining ^= low
+        remaining = descendants
+        while remaining:
+            low = remaining & -remaining
+            up[low.bit_length() - 1] &= ~mask
+            remaining ^= low
+        down[serial] = 0
+        up[serial] = 0
+        self.index_repairs += 1
+        self.repair_frontier_nodes += cone
 
     # -- committed-node pruning ---------------------------------------------
 
@@ -411,17 +519,22 @@ class DependencyGraph:
         """Evict every safely-prunable committed node; returns the count.
 
         Evicted nodes leave the node table, the per-key writer/reader
-        indexes, the adjacency lists, and the closure universe (their index
-        slots become holes and the generation counter is bumped, so the
-        next query's rebuild compacts the bitsets down to the survivors).
-        Unlike :meth:`detach_node` no bridging is needed: condition 1 of
-        the safety condition guarantees no surviving pair was ordered
-        through a victim.
+        indexes, the adjacency lists, and the closure universe.  Unlike
+        :meth:`detach_node` no bridging is needed, and no repair either:
+        condition 1 of the safety condition guarantees no surviving pair
+        was ordered through a victim — victims form closed components, so
+        no surviving bitset carries a victim's bit and eviction just
+        punches holes into the serial space while the index stays valid.
+        Only when holes come to outnumber live serials (or the index was
+        already stale) is a compacting rebuild scheduled via the
+        generation counter, which is what keeps a streaming controller's
+        bitset width plateaued instead of paying one rebuild per batch
+        boundary.
         """
         victims = self.prunable_committed(root_value)
         if not victims:
             return 0
-        indexed = False
+        valid = self._built_gen == self._gen
         for node in victims:
             for key in node.records:
                 for index in (self._writers, self._readers):
@@ -445,13 +558,41 @@ class DependencyGraph:
                 if serial is not None and serial < len(self._indexed) \
                         and self._indexed[serial] is node:
                     self._indexed[serial] = None
+                    self._index_holes += 1
+                    if valid:
+                        self._down[serial] = 0
+                        self._up[serial] = 0
                 node._index_serial = None
                 node._index_owner = None
-                indexed = True
-        if indexed:
-            self._gen += 1
+        if valid:
+            self._index_compact_if_dominated()
         self.nodes_pruned += len(victims)
         return len(victims)
+
+    def _index_compact_if_dominated(self) -> None:
+        """Invariant 4's amortization: pay the hole debt when it dominates.
+
+        When every slot is a hole — the streaming runner's quiescent
+        boundary evicts the *entire* indexed population — the index
+        resets to empty in place: an empty closure is trivially exact, so
+        no rebuild is needed and ``_built_gen`` stays current.  When
+        holes merely outnumber live serials, the generation counter is
+        bumped so the next query pays one compacting rebuild.
+        """
+        if self._index_holes == 0:
+            return
+        if self._index_holes == len(self._indexed):
+            self._index_reset_empty()
+        elif 2 * self._index_holes > len(self._indexed):
+            self._gen += 1
+
+    def _index_reset_empty(self) -> None:
+        """Drop a fully-holed serial space: an empty index is trivially
+        exact, so ``_built_gen`` stays current and no rebuild is owed."""
+        self._indexed.clear()
+        self._down.clear()
+        self._up.clear()
+        self._index_holes = 0
 
     @staticmethod
     def _collect_descendants(reached: set, src: TxNode) -> set:
@@ -616,6 +757,7 @@ class DependencyGraph:
                         neighbor._index_owner = self
                         nodes.append(neighbor)
         self._indexed = nodes
+        self._index_holes = 0
         count = len(nodes)
         down = [0] * count
         up = [0] * count

@@ -49,7 +49,12 @@ batch of committed nodes plus one admitted batch, independent of stream
 length.  :class:`StreamResult` records the node count before and after
 each boundary prune so benchmarks can assert the plateau
 (``benchmarks/bench_streaming_runner.py`` does exactly that; pass
-``prune=False`` to see the unbounded alternative).
+``prune=False`` to see the unbounded alternative).  Eviction leaves the
+reachability index valid (victims are closure-isolated, so pruning just
+punches serial holes in place); the index schedules a compacting rebuild
+only when holes come to outnumber live serials, so a long stream pays a
+rebuild every few batches instead of one per boundary — and mid-batch
+aborts pay none at all (see ``docs/REACHABILITY.md``).
 
 Usage
 -----

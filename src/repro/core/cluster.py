@@ -46,10 +46,15 @@ class ClusterResult:
     dropped_transactions: int
     blocks_committed: int
     #: Concurrency-controller health across every preplayed batch: query
-    #: volume on the reachability index, lazy rebuilds it paid, committed
-    #: nodes pruned, and the dependency graph's node high-water mark.
+    #: volume on the reachability index, full rebuilds it paid, aborts
+    #: absorbed by decremental repair (and the cone traffic / fallbacks
+    #: those repairs cost), committed nodes pruned, and the dependency
+    #: graph's node high-water mark.
     cc_path_queries: int
     cc_index_rebuilds: int
+    cc_index_repairs: int
+    cc_repair_frontier_nodes: int
+    cc_repair_fallbacks: int
     cc_nodes_pruned: int
     ce_peak_graph_nodes: int
     metrics: MetricsCollector
@@ -186,6 +191,9 @@ class Cluster:
             blocks_committed=metrics.blocks_committed,
             cc_path_queries=metrics.cc_path_queries,
             cc_index_rebuilds=metrics.cc_index_rebuilds,
+            cc_index_repairs=metrics.cc_index_repairs,
+            cc_repair_frontier_nodes=metrics.cc_repair_frontier_nodes,
+            cc_repair_fallbacks=metrics.cc_repair_fallbacks,
             cc_nodes_pruned=metrics.cc_nodes_pruned,
             ce_peak_graph_nodes=metrics.ce_peak_graph_nodes,
             metrics=metrics,

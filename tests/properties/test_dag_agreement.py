@@ -1,9 +1,15 @@
 """Property-based tests: Tusk total-order agreement.
 
 Whatever subsets of authors participate per round and whatever order
-vertices arrive in, every replica that processes the same certified DAG
-must commit the same blocks in the same order (the §2 consistency +
-completeness properties through the commit rule)."""
+vertices arrive in, replicas that process the same certified DAG commit
+*consistent* block sequences: one replica's sequence is always a prefix
+of the other's (the §2 consistency property through the commit rule).
+Equality is only eventual — whether a wave's leader commits *directly*
+depends on which 2f+1 support vertices a replica held at the moment it
+decided the wave, which is view-dependent; a skipped leader is recovered
+through the causal history of the next leader that does commit, so on a
+finite DAG one replica may lawfully sit a few leaders behind but never
+disagrees on what it has committed."""
 
 import random
 
@@ -76,12 +82,38 @@ def committed_sequence(vertices, shuffle_seed):
     return sequence
 
 
+def canonical_sequence(vertices):
+    """The commit sequence of a replica that receives the DAG in causal
+    (round) order — the maximal view: every wave is decided with its full
+    support round present, so it commits every directly-committable
+    leader.  Any partial view's sequence must be a prefix of this one."""
+    store = DagStore(epoch=0)
+    consensus = TuskConsensus(N, 0)
+    sequence = []
+    for vertex in vertices:
+        store.insert(vertex)
+        for event in consensus.advance(store):
+            sequence.extend(v.digest for v in event.delivered)
+    return sequence
+
+
 @given(random_dags(), st.integers(0, 1000), st.integers(0, 1000))
 @SETTINGS
 def test_agreement_across_insertion_orders(dag, seed_a, seed_b):
+    """Every delivery order yields a prefix of the canonical (causal
+    delivery) commit sequence — hence any two orders are prefix-consistent
+    with each other.  See the module docstring for why equality would be
+    too strong (direct commits are view-dependent); anchoring on the
+    canonical sequence keeps the assertion non-vacuous when one order
+    commits little or nothing: whatever *is* committed must match the
+    canonical order exactly."""
     vertices, _ = dag
-    assert committed_sequence(vertices, seed_a) == \
-        committed_sequence(vertices, seed_b)
+    canonical = canonical_sequence(vertices)
+    a = committed_sequence(vertices, seed_a)
+    b = committed_sequence(vertices, seed_b)
+    assert len(a) <= len(canonical) and len(b) <= len(canonical)
+    assert canonical[:len(a)] == a
+    assert canonical[:len(b)] == b
 
 
 @given(random_dags(), st.integers(0, 1000))

@@ -1,14 +1,22 @@
 #!/usr/bin/env python
 """Fail on broken intra-repo links in the repo's Markdown documentation.
 
-Scans ``README.md`` plus every ``*.md`` under ``docs/`` for Markdown links
-and images.  External targets (``http(s)://``, ``mailto:``) are ignored;
-everything else must resolve to an existing file or directory relative to
-the linking document, and a ``#fragment`` pointing into a Markdown file
-must match one of that file's headings (GitHub-style slugs).
+Scans every ``*.md`` at the repository root plus every ``*.md`` under
+``docs/`` for Markdown links and images.  External targets
+(``http(s)://``, ``mailto:``) are ignored; everything else must resolve
+to an existing file or directory relative to the linking document, and a
+``#fragment`` pointing into a Markdown file must match one of that
+file's headings (GitHub-style slugs).
+
+Additionally, every document under ``docs/`` must be *reachable* from
+``README.md`` through Markdown links (self-links and links from pages
+that are themselves unreachable don't count).  A reference doc a reader
+starting at the README can never navigate to is invisible, so an orphan
+fails the check the same way a broken link does.
 
 Run from anywhere:  ``python tools/check_links.py``
-Exits 1 if any link is broken (the count is printed), 0 otherwise.
+Exits 1 if any link is broken or any doc is orphaned (counts are
+printed), 0 otherwise.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
 
 def documents():
-    found = [REPO_ROOT / "README.md"]
+    found = sorted(REPO_ROOT.glob("*.md"))
     docs = REPO_ROOT / "docs"
     if docs.is_dir():
         found.extend(sorted(docs.rglob("*.md")))
@@ -68,7 +76,9 @@ def strip_code_spans(text: str) -> str:
     return "\n".join(out)
 
 
-def check_document(path: Path) -> list:
+def check_document(path: Path, outgoing: set) -> list:
+    """Validate one document's links; fills ``outgoing`` with the resolved
+    non-self link targets (the edges of the reachability graph)."""
     problems = []
     for target in LINK_PATTERN.findall(strip_code_spans(
             path.read_text(encoding="utf-8"))):
@@ -80,6 +90,8 @@ def check_document(path: Path) -> list:
             problems.append(f"{path.relative_to(REPO_ROOT)}: broken link "
                             f"-> {target}")
             continue
+        if resolved != path:
+            outgoing.add(resolved)
         if fragment and resolved.suffix == ".md":
             if github_slug(fragment) not in heading_slugs(resolved):
                 problems.append(
@@ -88,15 +100,40 @@ def check_document(path: Path) -> list:
     return problems
 
 
+def orphaned_docs(links: dict) -> list:
+    """Documents under ``docs/`` a reader cannot reach from README.md by
+    following Markdown links (BFS over the link graph; self-links and
+    links out of unreachable pages don't confer reachability)."""
+    docs = REPO_ROOT / "docs"
+    if not docs.is_dir():
+        return []
+    reachable = set()
+    frontier = [(REPO_ROOT / "README.md").resolve()]
+    while frontier:
+        document = frontier.pop()
+        if document in reachable:
+            continue
+        reachable.add(document)
+        frontier.extend(links.get(document, ()))
+    return [f"{path.relative_to(REPO_ROOT)}: orphaned (unreachable from "
+            f"README.md through Markdown links)"
+            for path in sorted(docs.rglob("*.md"))
+            if path.resolve() not in reachable]
+
+
 def main() -> int:
     checked = documents()
     problems = []
+    links: dict = {}
     for document in checked:
-        problems.extend(check_document(document))
+        outgoing: set = set()
+        problems.extend(check_document(document, outgoing))
+        links[document.resolve()] = outgoing
+    problems.extend(orphaned_docs(links))
     for problem in problems:
         print(problem)
     print(f"checked {len(checked)} documents: "
-          f"{len(problems)} broken link(s)")
+          f"{len(problems)} problem(s)")
     return 1 if problems else 0
 
 
