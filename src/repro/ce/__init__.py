@@ -3,8 +3,12 @@
 * :class:`~repro.ce.controller.ConcurrencyController` — dependency-graph
   concurrency control without prior read/write-set knowledge.
 * :class:`~repro.ce.runner.CERunner` — the simulated executor pool.
+* :class:`~repro.ce.streaming.StreamSession` — the open-ended
+  admit/drain/close execution session one long-lived controller and pool
+  serve (the replica round loop's engine under ``engine="ce-streaming"``).
 * :class:`~repro.ce.streaming.StreamingRunner` — a long-lived pool serving
-  a continuous batch stream with committed-node pruning.
+  a continuous batch stream with committed-node pruning, built on the
+  session.
 * :func:`~repro.ce.validation.validate_block` — commit-time parallel
   validation of preplay results.
 """
@@ -13,7 +17,7 @@ from repro.ce.controller import (CCStats, CommittedTx, ConcurrencyController)
 from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
                                NodeStatus, TxNode)
 from repro.ce.runner import BatchResult, CEConfig, CERunner
-from repro.ce.streaming import StreamingRunner, StreamResult
+from repro.ce.streaming import StreamingRunner, StreamResult, StreamSession
 from repro.ce.validation import (ValidationOutcome, build_validation_levels,
                                  validate_block)
 
@@ -29,6 +33,7 @@ __all__ = [
     "KeyRecord",
     "NodeStatus",
     "StreamResult",
+    "StreamSession",
     "StreamingRunner",
     "TxNode",
     "ValidationOutcome",

@@ -73,7 +73,7 @@ keep such a controller bounded over an unbounded stream:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
@@ -98,6 +98,22 @@ class CCStats:
     repair_fallbacks: int = 0  # detaches that invalidated instead of repairing
     nodes_pruned: int = 0      # committed nodes evicted from the graph
     prune_passes: int = 0      # prune_committed() invocations
+
+    def snapshot(self) -> "CCStats":
+        """A frozen copy of the counters as they stand right now.
+
+        A long-lived controller's counters are cumulative; callers that
+        report *per-batch* numbers must snapshot at the batch boundary and
+        diff with :meth:`delta` — reporting the live object would
+        double-count every earlier batch.
+        """
+        return replace(self)
+
+    def delta(self, since: "CCStats") -> "CCStats":
+        """Counter-wise difference ``self - since``: the activity between
+        the ``since`` snapshot and this one."""
+        return CCStats(**{name: getattr(self, name) - getattr(since, name)
+                          for name in vars(self)})
 
 
 @dataclass
@@ -234,6 +250,29 @@ class ConcurrencyController:
         """
         self._stats.prune_passes += 1
         return self.graph.prune_committed(self.read_root)
+
+    def rebase(self, base_state: Mapping[str, Any]) -> None:
+        """Swap the root to ``base_state`` and drop the committed overlay.
+
+        Used by :class:`~repro.ce.streaming.StreamSession` when the caller
+        owns state evolution between batches (it has already folded every
+        committed write — and possibly external writes the controller never
+        saw — into ``base_state``): after the rebase the controller answers
+        root reads exactly like a freshly built one would.
+
+        Only legal at a quiescent batch boundary: every node still in the
+        graph must be an admitted-but-unreleased attempt (running, with no
+        operation records).  A node holding records may have read through
+        the old root, and silently changing the ground under it would break
+        the pruning safety argument — so that raises instead.
+        """
+        for node in self.graph.nodes.values():
+            if node.records or node.status is not NodeStatus.RUNNING:
+                raise SerializationError(
+                    f"rebase with active transaction {node.tx_id} "
+                    f"({node.status.value}) in the graph")
+        self._base_state = base_state
+        self._overlay.clear()
 
     def harvest_committed(self) -> List[CommittedTx]:
         """Return the committed entries accumulated since the last harvest

@@ -48,15 +48,24 @@ class ClusterResult:
     #: Concurrency-controller health across every preplayed batch: query
     #: volume on the reachability index, full rebuilds it paid, aborts
     #: absorbed by decremental repair (and the cone traffic / fallbacks
-    #: those repairs cost), committed nodes pruned, and the dependency
-    #: graph's node high-water mark.
+    #: those repairs cost), committed nodes pruned (with the boundary
+    #: passes that evicted them — nonzero only under ``engine=
+    #: "ce-streaming"``, whose long-lived sessions prune each round), and
+    #: the dependency graph's node high-water mark.  Per-round values are
+    #: boundary deltas, so long-lived session controllers are never
+    #: double-counted.
     cc_path_queries: int
     cc_index_rebuilds: int
     cc_index_repairs: int
     cc_repair_frontier_nodes: int
     cc_repair_fallbacks: int
     cc_nodes_pruned: int
+    cc_prune_passes: int
     ce_peak_graph_nodes: int
+    #: Scheduler events the run consumed — the per-round setup overhead
+    #: (worker spawn/teardown churn) shows up here, so engine comparisons
+    #: at identical committed schedules can quantify it deterministically.
+    events_processed: int
     metrics: MetricsCollector
 
     def __str__(self) -> str:  # pragma: no cover - convenience
@@ -195,7 +204,9 @@ class Cluster:
             cc_repair_frontier_nodes=metrics.cc_repair_frontier_nodes,
             cc_repair_fallbacks=metrics.cc_repair_fallbacks,
             cc_nodes_pruned=metrics.cc_nodes_pruned,
+            cc_prune_passes=metrics.cc_prune_passes,
             ce_peak_graph_nodes=metrics.ce_peak_graph_nodes,
+            events_processed=self.env.events_processed,
             metrics=metrics,
         )
 

@@ -11,8 +11,14 @@ from repro.sim.network import LatencyModel
 
 #: The execution engines a shard proposer can preplay with (§12 compares
 #: Thunderbolt = "ce", Thunderbolt-OCC = "occ"; Tusk = "serial" executes
-#: post-order with no preplay at all).
-ENGINES = ("ce", "occ", "serial")
+#: post-order with no preplay at all).  "ce-streaming" is the CE engine
+#: behind a long-lived :class:`~repro.ce.streaming.StreamSession`: one
+#: dependency graph, closure index, and executor pool serve every preplay
+#: round of an epoch (torn down and rebuilt at reconfiguration), with
+#: committed-node pruning keeping the graph at ~2 rounds of nodes.  Its
+#: per-round committed orders and preplay entries are byte-identical to
+#: "ce".
+ENGINES = ("ce", "occ", "serial", "ce-streaming")
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 from repro.baselines.occ import OCCRunner
 from repro.ce.controller import CommittedTx
 from repro.ce.runner import BatchResult, CERunner
+from repro.ce.streaming import StreamingRunner
 from repro.ce.validation import estimate_validation_cost, validate_block
 from repro.contracts.contract import ContractRegistry
 from repro.core.config import ThunderboltConfig
@@ -161,13 +162,33 @@ class Replica:
         return self.shard_map.shard_served_by(self.id, self.epoch)
 
     def _make_engine(self):
+        self._session = None
         if self.config.engine == "occ":
             return OCCRunner(self.registry, self.config.ce,
                              derive_rng(self._rng, 11))
         if self.config.engine == "ce":
             return CERunner(self.registry, self.config.ce,
                             derive_rng(self._rng, 12))
+        if self.config.engine == "ce-streaming":
+            # Same derived RNG stream as "ce", so the session path draws
+            # the identical jitter/backoff sequence and its preplay output
+            # stays byte-identical to the per-round run_batch path.
+            runner = StreamingRunner(self.registry, self.config.ce,
+                                     derive_rng(self._rng, 12))
+            self._session = self._open_session(runner)
+            return runner
         return None  # "serial": no preplay engine (Tusk baseline)
+
+    def _open_session(self, runner: StreamingRunner):
+        """One epoch's execution session: a long-lived controller, graph,
+        and worker pool every preplay round of the epoch runs through.
+        The base handed over here is a placeholder — each round's admit
+        rebases the session onto that round's speculative overlay view.
+        History recording is off: the round loop consumes every drained
+        result, and an epoch can last the whole run."""
+        return runner.open_session(self.env,
+                                   _OverlayView(self._overlay, self.store),
+                                   record_history=False)
 
     def submit(self, tx: Transaction, now: Optional[float] = None) -> None:
         """Client entry point: enqueue a transaction at this proposer."""
@@ -443,8 +464,16 @@ class Replica:
                 self._overlay_dirty = False
             base = _OverlayView(self._overlay, self.store)
             self._preplaying_batch = batch
-            result: BatchResult = yield self._engine.run_batch(
-                self.env, batch, base)
+            if self._session is not None:
+                # One long-lived session per epoch: this round's batch is
+                # admitted against the round's overlay view and drained to
+                # its BatchResult, reusing the epoch's dependency graph,
+                # closure index, and executor pool across rounds.
+                self._session.admit(batch, base_view=base)
+                result: BatchResult = yield self._session.drain()
+            else:
+                result = yield self._engine.run_batch(
+                    self.env, batch, base)
             self._preplaying_batch = []
             if self.epoch != epoch_at_entry:
                 return None  # the batch was reported dropped by _reconfigure
@@ -764,6 +793,12 @@ class Replica:
         self._in_flight_single = {}
         self._overlay = {}
         self._overlay_dirty = False
+        if self._session is not None:
+            # The execution session dies with the epoch: in-flight preplay
+            # is discarded (already counted in ``dropped`` above), the old
+            # worker pool shuts down, and the new epoch gets a clean graph.
+            self._session.abort()
+            self._session = self._open_session(self._engine)
         self._pending_cross = {}
         self._history_seen = set()
         self._deferred_cross = []

@@ -45,6 +45,7 @@ class MetricsCollector:
         self.cc_repair_frontier_nodes = 0
         self.cc_repair_fallbacks = 0
         self.cc_nodes_pruned = 0
+        self.cc_prune_passes = 0
         self.ce_peak_graph_nodes = 0
 
     # -- recording -----------------------------------------------------------
@@ -74,16 +75,22 @@ class MetricsCollector:
     def record_ce_batch(self, stats, graph_nodes: int = 0) -> None:
         """Fold one preplayed batch's concurrency-controller counters in.
 
-        ``stats`` is a :class:`repro.ce.controller.CCStats`;
-        ``graph_nodes`` the dependency graph's node count when the batch
-        completed (its high-water mark feeds capacity planning for
-        long-lived streaming controllers)."""
+        ``stats`` is a :class:`repro.ce.controller.CCStats` covering *that
+        batch alone*: a fresh per-batch controller's live counters, or —
+        for a long-lived :class:`~repro.ce.streaming.StreamSession`
+        controller that outlives many batches — the boundary delta the
+        session computes via ``CCStats.snapshot()``/``delta()``.  Feeding
+        a long-lived controller's cumulative counters here would count
+        every earlier batch again.  ``graph_nodes`` is the dependency
+        graph's node count when the batch completed (its high-water mark
+        feeds capacity planning for long-lived streaming controllers)."""
         self.cc_path_queries += stats.path_queries
         self.cc_index_rebuilds += stats.index_rebuilds
         self.cc_index_repairs += stats.index_repairs
         self.cc_repair_frontier_nodes += stats.repair_frontier_nodes
         self.cc_repair_fallbacks += stats.repair_fallbacks
         self.cc_nodes_pruned += stats.nodes_pruned
+        self.cc_prune_passes += stats.prune_passes
         if graph_nodes > self.ce_peak_graph_nodes:
             self.ce_peak_graph_nodes = graph_nodes
 

@@ -253,7 +253,12 @@ def test_executor_pool_abort_storm_rebuilds_collapse():
 
 def test_streaming_prune_no_longer_rebuilds_every_boundary():
     """Boundary prunes punch holes in place; rebuilds fire only when the
-    serial space goes hole-dominated — strictly fewer than one per batch."""
+    serial space goes hole-dominated — strictly fewer than one per batch.
+
+    Driven through one session with ``run_stream``'s one-batch-ahead
+    admission (the graph holds ~2 batches at every boundary, the
+    pipelined worst case), so the bitset width can be probed on the live
+    controller before close() clears ``last_cc``."""
     registry = default_registry()
     workload = SmallBankWorkload(
         WorkloadConfig(accounts=64, read_probability=0.5, theta=0.9),
@@ -261,16 +266,30 @@ def test_streaming_prune_no_longer_rebuilds_every_boundary():
     batches = [workload.batch(25) for _ in range(8)]
     env = Environment()
     runner = StreamingRunner(registry, CEConfig(executors=8), make_rng(7))
-    proc = runner.run_stream(env, batches, dict(initial_state(64)))
+    session = runner.open_session(env, dict(initial_state(64)))
+    session.admit(batches[0])
+    session.admit(batches[1])
+
+    def pump():
+        upcoming = 2
+        while session.in_flight:
+            result = yield session.drain()
+            assert result is not None
+            if upcoming < len(batches):
+                session.admit(batches[upcoming])
+                upcoming += 1
+
+    proc = env.process(pump())
     env.run()
     assert proc.triggered
-    stats = proc.value.stats
+    graph = session.cc.graph
+    # Bitset width stays a small multiple of the plateau, not the stream.
+    assert len(graph._indexed) < 4 * 25
+    stats = session.close().stats
     assert stats.nodes_pruned == 8 * 25
     assert stats.index_rebuilds < len(batches), \
         "pruning still schedules a rebuild at every boundary"
-    graph = runner.last_cc.graph
-    # Bitset width stays a small multiple of the plateau, not the stream.
-    assert len(graph._indexed) < 4 * 25
+    assert runner.last_cc is None
 
 
 # ------------------------------------------------------------ counter plumbing
