@@ -95,7 +95,9 @@ class OCCRunner:
                 state: _VersionedState, verifier: Resource, shared: Dict):
         config = self.config
         while not shared["done"].triggered:
-            tx = yield queue.get()
+            # Simulated worker: once "done" triggers, a process parked on
+            # the drained Store is inert — the DES run ends regardless.
+            tx = yield queue.get()  # reprolint: disable=C303
             body = self.registry.get(tx.contract)
             attempt = 0
             while True:

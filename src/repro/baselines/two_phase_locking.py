@@ -114,7 +114,9 @@ class TPLNoWaitRunner:
         locks: _LockTable = shared["locks"]
         state: Dict[str, Any] = shared["state"]
         while not shared["done"].triggered:
-            tx = yield queue.get()
+            # Simulated worker: parked processes are inert after "done"
+            # triggers (see occ.py); no sentinel needed in the DES.
+            tx = yield queue.get()  # reprolint: disable=C303
             body = self.registry.get(tx.contract)
             attempt = 0
             while True:

@@ -353,12 +353,12 @@ class DependencyGraph:
             # nodes reachable from it in the *current* graph (including
             # bridges added for earlier successors), exactly mirroring a
             # per-pair ``has_path`` check against the evolving adjacency.
-            reached = self._collect_descendants(set(), predecessor)
+            reached = self._collect_descendants({}, predecessor)
             for successor in successors:
-                if predecessor is successor or id(successor) in reached:
+                if predecessor is successor or successor in reached:
                     continue
                 self.add_edge(predecessor, successor, "", EdgeKind.BRIDGE)
-                reached.add(id(successor))
+                reached[successor] = None
                 self._collect_descendants(reached, successor)
         return former_out
 
@@ -595,14 +595,20 @@ class DependencyGraph:
         self._index_holes = 0
 
     @staticmethod
-    def _collect_descendants(reached: set, src: TxNode) -> set:
-        """Extend ``reached`` with the ids of every node reachable from
-        ``src`` (``src`` itself excluded unless already present)."""
+    def _collect_descendants(reached: Dict[TxNode, None],
+                             src: TxNode) -> Dict[TxNode, None]:
+        """Extend ``reached`` with every node reachable from ``src``
+        (``src`` itself excluded unless already present).
+
+        ``reached`` is an insertion-ordered dict-as-set (the module-wide
+        convention): discovery order depends only on edge insertion
+        order, never on ``PYTHONHASHSEED``.
+        """
         stack = [src]
         while stack:
             for child in stack.pop().out_edges:
-                if id(child) not in reached:
-                    reached.add(id(child))
+                if child not in reached:
+                    reached[child] = None
                     stack.append(child)
         return reached
 

@@ -29,7 +29,7 @@ are interchangeable wherever batches arrive sequentially.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -124,7 +124,7 @@ class CERunner:
     _SHUTDOWN = object()
 
     def __init__(self, registry: ContractRegistry, config: CEConfig,
-                 rng: random.Random) -> None:
+                 rng: Random) -> None:
         self.registry = registry
         self.config = config
         self._rng = rng

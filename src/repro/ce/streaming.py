@@ -110,7 +110,7 @@ Open-ended session (one batch at a time, from inside a process)::
 
 from __future__ import annotations
 
-import random
+from random import Random
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional
@@ -481,7 +481,7 @@ class StreamingRunner(CERunner):
     Concurrent Executor (see the module docstring for the semantics)."""
 
     def __init__(self, registry: ContractRegistry, config: CEConfig,
-                 rng: random.Random, prune: bool = True) -> None:
+                 rng: Random, prune: bool = True) -> None:
         super().__init__(registry, config, rng)
         self.prune = prune
         #: The live session's controller, for stat probes while a stream

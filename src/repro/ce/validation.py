@@ -55,10 +55,12 @@ def build_validation_levels(entries: Sequence[CommittedTx]) -> List[List[Committ
     last_reader_level: Dict[str, int] = {}
     levels: List[List[CommittedTx]] = []
     for entry in entries:
-        keys_read = set(entry.read_set)
-        keys_written = set(entry.write_set)
+        # Sorted key order keeps level assignment (and therefore validator
+        # scheduling) independent of PYTHONHASHSEED.
+        keys_read = sorted(set(entry.read_set))
+        keys_written = sorted(set(entry.write_set))
         level = 0
-        for key in keys_read | keys_written:
+        for key in sorted(set(keys_read) | set(keys_written)):
             if key in last_writer_level:
                 level = max(level, last_writer_level[key] + 1)
         for key in keys_written:

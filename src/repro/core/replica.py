@@ -213,8 +213,10 @@ class Replica:
 
     def _message_loop(self):
         inbox = self.network.inbox(self.id)
+        # Replica-lifetime consumer: a parked simulated process is inert
+        # once the DES event queue drains, so no sentinel is needed.
         while True:
-            message: Message = yield inbox.get()
+            message: Message = yield inbox.get()  # reprolint: disable=C303
             if self.crashed:
                 continue
             self._dispatch(message)
@@ -652,8 +654,10 @@ class Replica:
 
     def _execution_loop(self):
         """Applies committed work in order, consuming simulated time."""
+        # Replica-lifetime consumer (see _message_loop): terminated by the
+        # simulation's event queue draining, not by a sentinel.
         while True:
-            item = yield self._exec_queue.get()
+            item = yield self._exec_queue.get()  # reprolint: disable=C303
             kind = item[0]
             if kind == "validate":
                 yield from self._run_validation(item[1])

@@ -61,11 +61,11 @@ class TuskConsensus:
             raise ConsensusError(
                 f"consensus epoch {self.epoch} fed store epoch {store.epoch}")
         events: List[CommitEvent] = []
+        leader_round = self._next_candidate
         while True:
-            leader_round = self._next_candidate
             support_round = leader_round + 1
             if store.round_size(support_round) < quorum_size(self.n):
-                break  # cannot decide this wave yet
+                break  # cannot evaluate this wave yet
             leader_id = self.schedule.leader_of(self.epoch, leader_round)
             leader_vertex = store.vertex_of(leader_round, leader_id)
             committable = (
@@ -75,8 +75,21 @@ class TuskConsensus:
             if committable:
                 events.extend(self._commit_chain(store, leader_vertex,
                                                  leader_round))
-            # Either way this wave is decided locally; move to the next.
-            self._next_candidate = self.schedule.next_leader_round(
+                # Waves up to this one are closed: earlier leaders were
+                # either recovered from the causal history just now or
+                # stay recoverable through a later leader's history.
+                self._next_candidate = self.schedule.next_leader_round(
+                    leader_round + self.schedule.wave_length)
+            # A wave that is *not* committable stays open — more support
+            # vertices may still arrive (the support round reaches 2f+1
+            # before it is complete), and an irrevocable early skip would
+            # make the commit view-dependent: a replica receiving the DAG
+            # in causal order could permanently miss a leader that any
+            # late-arriving view commits directly.  Re-evaluate it on the
+            # next advance; quorum intersection keeps retries consistent
+            # (a directly committed leader is in every later leader's
+            # history, so cross-replica order never diverges).
+            leader_round = self.schedule.next_leader_round(
                 leader_round + self.schedule.wave_length)
         self.commits.extend(events)
         return events

@@ -200,3 +200,52 @@ def test_key_record_read_value_requires_read():
     record = KeyRecord()
     with pytest.raises(SerializationError):
         record.read_value()
+
+
+# ---------------------------------------------------------------------------
+# Determinism: detach-time bridging must not depend on PYTHONHASHSEED.
+# ---------------------------------------------------------------------------
+
+_BRIDGE_SCENARIO = """
+from repro.ce.depgraph import DependencyGraph, EdgeKind, NodeStatus, TxNode
+
+graph = DependencyGraph()
+nodes = {i: TxNode(tx_id=i, attempt=1) for i in range(1, 13)}
+for node in nodes.values():
+    graph.add_node(node)
+edges = [
+    (1, 3), (2, 3), (1, 4), (2, 4), (3, 5), (4, 5), (3, 6), (4, 6),
+    (5, 7), (6, 7), (5, 8), (6, 8), (7, 9), (8, 9), (7, 10), (8, 10),
+    (9, 11), (10, 11), (9, 12), (10, 12),
+]
+for index, (src, dst) in enumerate(edges):
+    graph.add_edge(nodes[src], nodes[dst], f"key-{index}", EdgeKind.ANTI)
+for victim in (5, 7, 4, 9):  # abort-heavy: detach interior nodes
+    nodes[victim].status = NodeStatus.ABORTED
+    graph.detach_node(nodes[victim])
+for i in sorted(nodes):
+    node = nodes[i]
+    print(i, [peer.tx_id for peer in node.out_edges],
+          [peer.tx_id for peer in node.in_edges])
+"""
+
+
+def test_detach_bridging_is_hash_seed_independent():
+    """The bridging pass iterates insertion-ordered structures, so the
+    surviving adjacency (bridge edges included, in order) is identical
+    under any PYTHONHASHSEED — the regression guard for the ordered
+    ``_collect_descendants`` rewrite."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src_dir = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+    outputs = set()
+    for seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src_dir)
+        result = subprocess.run(
+            [sys.executable, "-c", _BRIDGE_SCENARIO], env=env,
+            capture_output=True, text=True, check=True)
+        outputs.add(result.stdout)
+    assert len(outputs) == 1

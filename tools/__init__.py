@@ -1,0 +1,5 @@
+"""Repository tooling (link checker, reprolint).
+
+This package exists so the analyzers can run as modules from the repo
+root (``python -m tools.reprolint src/``) without an install step.
+"""

@@ -1,0 +1,14 @@
+"""reprolint — AST-based determinism, layering, and consistency linter.
+
+Stdlib-only static analysis specialized to this repository's invariants.
+Run it as ``python -m tools.reprolint src/``; see
+``docs/STATIC_ANALYSIS.md`` for the rule catalog and workflow.
+"""
+
+from tools.reprolint.engine import lint_paths, load_project, run_rules
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import all_rules, rule
+from tools.reprolint import rules  # noqa: F401  (registers the catalog)
+
+__all__ = ["Finding", "all_rules", "lint_paths", "load_project",
+           "rule", "run_rules"]

@@ -1,0 +1,114 @@
+"""Command-line interface.
+
+Exit status is 0 when every finding is suppressed (pragma) or
+grandfathered (baseline), 1 when new findings exist, 2 on usage errors.
+``--write-baseline`` regenerates the baseline from the current findings;
+shrinking it is always welcome, growing it needs a reason in review.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+import tools.reprolint.rules  # noqa: F401  (registers the rule catalog)
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.findings import (
+    load_baseline,
+    split_against_baseline,
+    write_baseline,
+)
+from tools.reprolint.registry import all_rules, resolve_rule_token
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="AST-based determinism/layering/consistency linter "
+                    "for this repository.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids or slugs to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, baseline ignored")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _parse_select(spec: Optional[str]) -> Optional[Set[str]]:
+    if not spec:
+        return None
+    known = {info.id for info in all_rules()}
+    selected = set()
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        resolved = resolve_rule_token(token)
+        if resolved not in known:
+            raise SystemExit(f"reprolint: unknown rule '{token}' "
+                             f"(known: {', '.join(sorted(known))})")
+        selected.add(resolved)
+    return selected or None
+
+
+def _print_catalog() -> None:
+    for info in all_rules():
+        print(f"{info.id} ({info.name}, {info.scope} scope)")
+        print(f"    {info.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        _print_catalog()
+        return 0
+    try:
+        select = _parse_select(options.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    missing = [path for path in options.paths if not Path(path).exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    findings = lint_paths(options.paths, select=select)
+
+    if options.write_baseline:
+        write_baseline(options.baseline, findings)
+        print(f"reprolint: wrote {len(findings)} finding(s) to "
+              f"{options.baseline}")
+        return 0
+
+    if options.no_baseline:
+        new, grandfathered = findings, []
+    else:
+        baseline = load_baseline(options.baseline)
+        new, grandfathered = split_against_baseline(findings, baseline)
+
+    for finding in new:
+        print(finding.render())
+    checked = f"{len(findings)} finding(s)"
+    if grandfathered:
+        checked += f", {len(grandfathered)} grandfathered"
+    if new:
+        print(f"reprolint: {len(new)} new finding(s) ({checked})",
+              file=sys.stderr)
+        return 1
+    print(f"reprolint: clean ({checked})")
+    return 0

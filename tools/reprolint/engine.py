@@ -1,0 +1,222 @@
+"""File discovery, parsing, pragma handling, and rule dispatch.
+
+The engine turns a set of paths into :class:`Module` objects (path,
+dotted name, AST, per-line pragma suppressions) bundled in a
+:class:`Project`, runs every registered rule over them, and filters the
+findings through the pragmas.  It is deliberately free of repo-specific
+knowledge: everything Thunderbolt-shaped lives in the rule modules.
+
+Module naming
+-------------
+A file's dotted module name is derived from its path relative to the
+project root, with a leading ``src/`` stripped (the repo's layout) and a
+trailing ``__init__`` dropped — ``src/repro/ce/depgraph.py`` becomes
+``repro.ce.depgraph`` and ``src/repro/ce/__init__.py`` becomes
+``repro.ce``.  Rules use these names for the import graph.
+
+Pragmas
+-------
+``# reprolint: disable=D101`` on the line a finding anchors to
+suppresses it; several rules separate with commas, and ``disable=all``
+suppresses every rule on the line.  Rule slugs (``set-iteration``) work
+too.  Findings anchor at the AST node's first line, so the pragma goes
+on the first physical line of a multi-line statement.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.registry import all_rules, resolve_rule_token
+
+PRAGMA_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: Path                      # absolute
+    relpath: str                    # project-root-relative, posix
+    name: str                       # dotted module name
+    tree: ast.Module
+    lines: List[str]
+    #: line number (1-based) -> lower-cased suppression tokens resolved
+    #: to rule ids ("all" suppresses everything on the line).
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule_id: str, node_or_line, message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(rule_id=rule_id, path=self.relpath, line=line,
+                       message=message, snippet=self.snippet(line))
+
+    def suppressed(self, finding: Finding) -> bool:
+        tokens = self.suppressions.get(finding.line)
+        if not tokens:
+            return False
+        return "all" in tokens or finding.rule_id in tokens
+
+
+@dataclass
+class Project:
+    """Every scanned module plus the intra-project import graph."""
+
+    root: Path
+    modules: List[Module]
+    by_name: Dict[str, Module] = field(default_factory=dict)
+    #: module name -> [(imported module name, line)], TYPE_CHECKING-guarded
+    #: imports excluded (they never execute, so they cannot create runtime
+    #: layering or cycle problems).
+    imports: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_name = {module.name: module for module in self.modules}
+        for module in self.modules:
+            self.imports[module.name] = module_imports(module)
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for index, line in enumerate(lines, start=1):
+        match = PRAGMA_PATTERN.search(line)
+        if not match:
+            continue
+        tokens = set()
+        for token in match.group(1).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            tokens.add("all" if token.lower() == "all"
+                       else resolve_rule_token(token))
+        if tokens:
+            suppressions[index] = tokens
+    return suppressions
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:  # outside the root: name from the file stem
+        relative = Path(path.name)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_module(path: Path, root: Path) -> Module:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    try:
+        relative = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:  # outside the root: keep the absolute path
+        relative = path.resolve().as_posix()
+    return Module(path=path.resolve(), relpath=relative,
+                  name=module_name_for(path, root), tree=tree, lines=lines,
+                  suppressions=parse_suppressions(lines))
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files;
+    ``__pycache__`` is skipped."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def load_project(paths: Sequence[Path], root: Optional[Path] = None
+                 ) -> Project:
+    root = (root or Path.cwd()).resolve()
+    modules = [load_module(path, root) for path in discover_files(paths)]
+    return Project(root=root, modules=modules)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (isinstance(test, ast.Attribute)
+            and test.attr == "TYPE_CHECKING")
+
+
+def module_imports(module: Module) -> List[Tuple[str, int]]:
+    """(imported dotted name, line) pairs for every executable import.
+
+    ``from pkg import name`` records ``pkg.name`` — rules that need the
+    *module* can truncate against the known module set.  Relative imports
+    are resolved against the importing module's package.
+    """
+    imports: List[Tuple[str, int]] = []
+    guarded: Set[int] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.body:
+                for sub in ast.walk(child):
+                    guarded.add(id(sub))
+    package_parts = module.name.split(".")[:-1] if module.name else []
+    for node in ast.walk(module.tree):
+        if id(node) in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.append((alias.name, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                drop = node.level - 1  # level 1 = the module's own package
+                base_parts = package_parts[:len(package_parts) - drop] \
+                    if drop <= len(package_parts) else []
+                base = ".".join(base_parts + ([node.module]
+                                              if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                target = f"{base}.{alias.name}" if base else alias.name
+                imports.append((target, node.lineno))
+    return imports
+
+
+def run_rules(project: Project,
+              select: Optional[Set[str]] = None) -> List[Finding]:
+    """Every registered rule over every module, pragma-filtered, sorted by
+    (path, line, rule id)."""
+    findings: List[Finding] = []
+    for info in all_rules():
+        if select is not None and info.id not in select:
+            continue
+        if info.scope == "file":
+            for module in project.modules:
+                findings.extend(info.check(module))
+        else:
+            findings.extend(info.check(project))
+    by_path = {module.relpath: module for module in project.modules}
+    kept = [finding for finding in findings
+            if finding.path not in by_path
+            or not by_path[finding.path].suppressed(finding)]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return kept
+
+
+def lint_paths(paths: Iterable[str],
+               root: Optional[Path] = None,
+               select: Optional[Set[str]] = None) -> List[Finding]:
+    """Programmatic entry point used by the tests."""
+    project = load_project([Path(p) for p in paths], root=root)
+    return run_rules(project, select=select)

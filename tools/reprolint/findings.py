@@ -1,0 +1,84 @@
+"""Finding objects and the committed-baseline file format.
+
+A finding is one rule violation at one source location.  Its
+``fingerprint`` deliberately excludes the line *number* — it is the rule
+id, the file, and the stripped source line — so a committed baseline
+survives unrelated edits above a grandfathered finding instead of
+churning on every diff.  Two identical offending lines in one file share
+a fingerprint; the baseline stores a count per fingerprint so adding a
+*second* copy of a grandfathered sin is still a new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str          # repo-root-relative, posix separators
+    line: int          # 1-based
+    message: str
+    snippet: str = ""  # stripped source line, used for the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule_id}::{self.path}::{self.snippet}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+def fingerprint_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """fingerprint -> grandfathered occurrence count."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version in {path}: "
+                         f"{data.get('version')!r}")
+    counts: Dict[str, int] = {}
+    for entry in data.get("findings", []):
+        counts[entry["fingerprint"]] = int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    counts = fingerprint_counts(findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [{"fingerprint": fp, "count": counts[fp]}
+                     for fp in sorted(counts)],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_against_baseline(findings: List[Finding],
+                           baseline: Dict[str, int]
+                           ) -> Tuple[List[Finding], List[Finding]]:
+    """(new, grandfathered): each baseline fingerprint absorbs up to its
+    recorded count of matching findings; the rest are new."""
+    budget = dict(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

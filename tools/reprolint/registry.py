@@ -1,0 +1,78 @@
+"""The pluggable rule registry.
+
+A rule is a plain function registered with the :func:`rule` decorator.
+Its docstring is its documentation of record: the first line states what
+is flagged, the rest says *why* — which determinism or architecture
+invariant the pattern would break.  ``python -m tools.reprolint
+--list-rules`` prints exactly these docstrings, so the catalog can never
+drift from the implementation.
+
+Two scopes exist:
+
+* ``file`` rules receive one :class:`~tools.reprolint.engine.Module` at a
+  time and yield findings for it;
+* ``project`` rules receive the whole :class:`~tools.reprolint.engine.
+  Project` (every scanned module plus its import graph) and yield
+  findings anywhere — this is what the layering and cross-file
+  consistency families need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    id: str
+    name: str
+    scope: str          # "file" or "project"
+    check: Callable
+    doc: str
+
+    @property
+    def summary(self) -> str:
+        return self.doc.strip().splitlines()[0]
+
+
+_RULES: Dict[str, RuleInfo] = {}
+
+
+def rule(id: str, name: str, scope: str = "file") -> Callable:
+    """Register a rule function under ``id`` (e.g. ``D101``).
+
+    ``name`` is the human slug (``set-iteration``); pragmas accept either
+    form.  The function must be a generator (or return an iterable) of
+    :class:`~tools.reprolint.findings.Finding`.
+    """
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def register(func: Callable) -> Callable:
+        if id in _RULES:
+            raise ValueError(f"duplicate rule id {id}")
+        if not func.__doc__:
+            raise ValueError(f"rule {id} must carry a docstring (the catalog "
+                             f"is generated from it)")
+        _RULES[id] = RuleInfo(id=id, name=name, scope=scope, check=func,
+                              doc=func.__doc__)
+        return func
+
+    return register
+
+
+def all_rules() -> List[RuleInfo]:
+    """Registered rules in id order (stable output ordering)."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def resolve_rule_token(token: str) -> str:
+    """Map a pragma/CLI token (id or slug name, any case) to a rule id;
+    returns the token unchanged when unknown (unknown suppressions are
+    inert rather than fatal)."""
+    token = token.strip()
+    for info in _RULES.values():
+        if token.upper() == info.id or token.lower() == info.name:
+            return info.id
+    return token

@@ -1,0 +1,7 @@
+"""Rule modules; importing this package registers every rule.
+
+Add a new rule family by creating a module here and importing it below —
+the :func:`tools.reprolint.registry.rule` decorator does the rest.
+"""
+
+from tools.reprolint.rules import consistency, determinism, layering  # noqa: F401
