@@ -1,6 +1,9 @@
 """Fault and attack injection for experiments."""
 
-from repro.adversary.behaviors import (Censorship, install_proposal_delay,
+from repro.adversary.behaviors import (ByzantineExecutor, Censorship,
+                                       CrashStop, GrayFailure, Partition,
+                                       install_proposal_delay,
                                        schedule_crashes)
 
-__all__ = ["Censorship", "install_proposal_delay", "schedule_crashes"]
+__all__ = ["ByzantineExecutor", "Censorship", "CrashStop", "GrayFailure",
+           "Partition", "install_proposal_delay", "schedule_crashes"]

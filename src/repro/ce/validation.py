@@ -118,6 +118,63 @@ def validate_block(entries: Sequence[CommittedTx],
                              writes=overlay, critical_path=len(levels))
 
 
+@dataclass
+class ReexecutionOutcome:
+    """Result of the deterministic fallback for an invalid block (§4).
+
+    When validation rejects a block (forged or inconsistent preplay sets),
+    the block's transactions are re-executed serially in the canonical
+    order against the validator's own state — every honest replica derives
+    the identical outcome, so the cluster converges even though the
+    published preplay was a lie.
+    """
+
+    #: Final value per key after the canonical serial replay.
+    writes: Dict[str, Any] = field(default_factory=dict)
+    #: Contract result per transaction id.
+    results: Dict[int, Any] = field(default_factory=dict)
+    #: Transaction ids executed, in canonical order.
+    executed: List[int] = field(default_factory=list)
+    #: Simulated seconds of the serial replay (declared sets are untrusted,
+    #: so no parallel validation schedule can be derived from them).
+    simulated_cost: float = 0.0
+
+
+def reexecute_block(entries: Sequence[CommittedTx],
+                    transactions: Mapping[int, Transaction],
+                    registry: ContractRegistry,
+                    state: Mapping[str, Any],
+                    default: Any = 0,
+                    op_cost: float = 5e-6) -> ReexecutionOutcome:
+    """Serially re-execute a rejected block in its canonical order.
+
+    The canonical order is the declared schedule restricted to known
+    transactions (ties broken by tx id), followed by any block transaction
+    the forged preplay omitted, in block order.  It depends only on the
+    block contents, so every replica reaches the same state.
+    """
+    ordered: Dict[int, None] = {}
+    for entry in sorted(entries, key=lambda e: (e.order_index, e.tx_id)):
+        if entry.tx_id in transactions:
+            ordered.setdefault(entry.tx_id, None)
+    for tx_id in transactions:
+        ordered.setdefault(tx_id, None)
+    overlay: Dict[str, Any] = {}
+    results: Dict[int, Any] = {}
+    total_ops = 0
+    for tx_id in ordered:
+        tx = transactions[tx_id]
+        body = registry.get(tx.contract)
+        view = _Overlay(overlay, state, default)
+        record = run_inline(body, tx.args, view, default=default)
+        overlay.update(record.write_set)
+        results[tx_id] = record.result
+        total_ops += len(record.operations)
+    return ReexecutionOutcome(writes=overlay, results=results,
+                              executed=list(ordered),
+                              simulated_cost=total_ops * op_cost)
+
+
 def estimate_validation_cost(entries: Sequence[CommittedTx],
                              validators: int = 16,
                              op_cost: float = 5e-6) -> float:

@@ -1,4 +1,5 @@
-"""Smart-contract runtime: operation protocol, registry, SmallBank suite."""
+"""Smart-contract runtime: operation protocol, registry, SmallBank and
+TPC-C-lite suites."""
 
 from repro.contracts.contract import (ContractBody, ContractRegistry,
                                       ExecutionRecord, run_inline)
@@ -10,6 +11,7 @@ from repro.contracts.smallbank import (ALL_CONTRACTS, AMALGAMATE,
                                        checking_key, default_registry,
                                        initial_state, register_smallbank,
                                        savings_key)
+from repro.contracts.tpcc_lite import register_tpcc_lite
 
 __all__ = [
     "ALL_CONTRACTS",
@@ -32,6 +34,7 @@ __all__ = [
     "is_read",
     "is_write",
     "register_smallbank",
+    "register_tpcc_lite",
     "run_inline",
     "savings_key",
 ]

@@ -42,6 +42,13 @@ class ClusterResult:
     executed_cross: int
     re_executions: int
     validation_failures: int
+    #: Transactions recovered by deterministic re-execution after a block
+    #: failed commit-time validation (summed over replicas — each live
+    #: replica replays the rejected block itself).
+    validation_reexecutions: int
+    #: Heal events recorded by healing network partitions
+    #: (repro.adversary.Partition).
+    partition_heals: int
     reconfigurations: int
     dropped_transactions: int
     blocks_committed: int
@@ -82,7 +89,16 @@ class Cluster:
     def __init__(self, config: ThunderboltConfig,
                  workload: WorkloadConfig,
                  crash_replicas: Sequence[int] = (),
-                 crash_at: float = 0.0) -> None:
+                 crash_at: float = 0.0,
+                 registry: Optional[ContractRegistry] = None,
+                 initial_state: Optional[Dict[str, object]] = None,
+                 source_factory=None) -> None:
+        """``registry``/``initial_state``/``source_factory`` plug a non-
+        SmallBank contract family in (e.g. TPC-C-lite); the defaults keep
+        the historical SmallBank deployment byte-for-byte identical.
+        ``source_factory(cluster, shard)`` must return a per-shard client
+        stream exposing ``batch(count, now) -> List[Transaction]`` and is
+        responsible for striding tx ids so shards never collide."""
         if any(not 0 <= r < config.n_replicas for r in crash_replicas):
             raise ConfigError(f"crash_replicas out of range: {crash_replicas}")
         self.config = config
@@ -90,7 +106,8 @@ class Cluster:
         self.env = Environment()
         self.metrics = MetricsCollector()
         self.shard_map = ShardMap(config.n_replicas)
-        self.registry: ContractRegistry = smallbank.default_registry()
+        self.registry: ContractRegistry = (
+            smallbank.default_registry() if registry is None else registry)
         rng = make_rng(config.seed)
         self.network = Network(self.env, config.n_replicas, config.latency,
                                rng)
@@ -99,7 +116,9 @@ class Cluster:
                     for i in range(config.n_replicas)]
         for pair in keypairs:
             self.key_registry.register(pair)
-        state = smallbank.initial_state(workload.accounts)
+        state = (smallbank.initial_state(workload.accounts)
+                 if initial_state is None else dict(initial_state))
+        self.initial_state: Dict[str, object] = dict(state)
         self.replicas: List[Replica] = [
             Replica(replica_id=i, env=self.env, network=self.network,
                     config=config, shard_map=self.shard_map,
@@ -110,14 +129,18 @@ class Cluster:
         ]
         #: One client stream per shard; tx ids are strided by shard so
         #: streams never collide.
-        self._sources: Dict[int, SmallBankWorkload] = {
-            shard: SmallBankWorkload(
-                workload, self.shard_map,
-                seed=(config.seed << 10) ^ (shard * 7919 + 13),
-                start_tx_id=shard, shard=shard,
-                tx_id_stride=config.n_replicas)
-            for shard in range(config.n_replicas)
-        }
+        if source_factory is None:
+            self._sources: Dict[int, object] = {
+                shard: SmallBankWorkload(
+                    workload, self.shard_map,
+                    seed=(config.seed << 10) ^ (shard * 7919 + 13),
+                    start_tx_id=shard, shard=shard,
+                    tx_id_stride=config.n_replicas)
+                for shard in range(config.n_replicas)
+            }
+        else:
+            self._sources = {shard: source_factory(self, shard)
+                             for shard in range(config.n_replicas)}
         self._sources_open = True
         for replica in self.replicas:
             replica.tx_source = self._make_source(replica)
@@ -125,6 +148,18 @@ class Cluster:
         self._crash_replicas = tuple(crash_replicas)
         self._crash_at = crash_at
         self.generated = 0
+        #: Installed adversary behaviours (see :meth:`install`).
+        self.adversaries: List[object] = []
+
+    def install(self, behavior) -> None:
+        """Install a fault/attack behaviour (repro.adversary.behaviors).
+
+        Anything with an ``install(cluster)`` method qualifies; the
+        behaviour is kept on :attr:`adversaries` so tests can inspect or
+        heal it mid-run.
+        """
+        behavior.install(self)
+        self.adversaries.append(behavior)
 
     # -- client plumbing ------------------------------------------------------
 
@@ -195,6 +230,8 @@ class Cluster:
             executed_cross=metrics.executed_count("cross"),
             re_executions=metrics.re_executions,
             validation_failures=metrics.validation_failures,
+            validation_reexecutions=metrics.validation_reexecutions,
+            partition_heals=metrics.partition_heals,
             reconfigurations=len(metrics.reconfigurations),
             dropped_transactions=metrics.dropped_transactions,
             blocks_committed=metrics.blocks_committed,

@@ -40,7 +40,8 @@ from repro.baselines.occ import OCCRunner
 from repro.ce.controller import CommittedTx
 from repro.ce.runner import BatchResult, CERunner
 from repro.ce.streaming import StreamingRunner
-from repro.ce.validation import estimate_validation_cost, validate_block
+from repro.ce.validation import (estimate_validation_cost, reexecute_block,
+                                 validate_block)
 from repro.contracts.contract import ContractRegistry
 from repro.core.config import ThunderboltConfig
 from repro.core.cross_shard import CrossShardExecutor
@@ -150,6 +151,11 @@ class Replica:
 
         # Hooks and fault state.
         self.on_drop = None        # callable(replica, list[Transaction])
+        #: Byzantine-executor hook: ``callable(entries) -> entries`` applied
+        #: to the preplay tuple before the block is built, so the forged
+        #: read/write sets are covered by the block digest and every replica
+        #: validates the identical lie (repro.adversary.ByzantineExecutor).
+        self.preplay_tamper = None
         self.crashed = False
         self.blocks_proposed = 0
         self.validation_failures = 0
@@ -484,6 +490,11 @@ class Replica:
             self._overlay.update(result.final_writes())
             preplay = tuple(PreplayEntry.from_committed(entry)
                             for entry in result.committed)
+            if self.preplay_tamper is not None and preplay:
+                # Published sets may lie; the speculative overlay above
+                # keeps the honest writes (the executor ran correctly, the
+                # *report* is forged).
+                preplay = tuple(self.preplay_tamper(preplay))
             for tx in batch:
                 self._tx_kind.setdefault(tx.tx_id, "single")
         block = Block(author=self.id, shard=self.my_shard, epoch=self.epoch,
@@ -687,9 +698,21 @@ class Replica:
             if outcome.simulated_cost > 0:
                 yield self.env.timeout(outcome.simulated_cost)
             if not outcome.valid:
+                # Reject the forged preplay, then fall back to the
+                # canonical serial re-execution: deterministic, so every
+                # replica applies the identical recovery writes.
                 self.validation_failures += 1
                 self.metrics.validation_failures += 1
-                return  # discard the invalid block (§4)
+                recovery = reexecute_block(
+                    entries, transactions, self.registry, self.store,
+                    op_cost=self.config.validation_op_cost)
+                if recovery.simulated_cost > 0:
+                    yield self.env.timeout(recovery.simulated_cost)
+                self.store.apply_batch(recovery.writes)
+                self.metrics.validation_reexecutions += len(recovery.executed)
+                for tx_id in recovery.executed:
+                    self._record_execution(tx_id, "single")
+                return
             writes = outcome.writes
         else:
             cost = estimate_validation_cost(

@@ -34,6 +34,13 @@ class MetricsCollector:
         self.reconfigurations: List[Tuple[int, float]] = []   # epoch, time
         self.re_executions = 0
         self.validation_failures = 0
+        #: Transactions recovered by the deterministic serial re-execution
+        #: that follows a rejected (forged/inconsistent) preplay block.
+        #: Counted per replica per block: each live replica replays the
+        #: rejected block against its own state.
+        self.validation_reexecutions = 0
+        #: Network partitions healed (repro.adversary.Partition).
+        self.partition_heals = 0
         self.dropped_transactions = 0
         self.blocks_committed = 0
         self.blocks_by_kind: Dict[str, int] = {}

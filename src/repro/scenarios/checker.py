@@ -1,0 +1,97 @@
+"""The safety invariants every scenario cell must uphold.
+
+The paper's safety argument reduces to three checkable properties on a
+finished cluster run, none of which any adversary schedule may violate:
+
+1. **Prefix consistency** — every pair of live replicas' commit logs is
+   prefix-consistent (one digest sequence is a prefix of the other).
+2. **State convergence** — live replicas that committed equally much
+   (same log length) hold bit-identical stores (KVStore checksums match).
+   Replicas a partition or gray failure left behind simply sit at a
+   shorter — still prefix-consistent — log.
+3. **Value conservation** — a workload-specific conserved quantity
+   (total SmallBank balance, TPC-C-lite cash and stock) is identical in
+   every live replica's final state and in the initial state: no fault or
+   forged preplay may mint or destroy value.
+
+The checker never asserts *liveness* — a censored or partitioned replica
+may legitimately stall — so a cell passes when nothing diverged, not when
+everything progressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Outcome of checking one cluster run against the invariants."""
+
+    failures: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        if self.ok:
+            return "safety: ok"
+        return "safety: " + "; ".join(self.failures)
+
+
+class SafetyChecker:
+    """Asserts the three safety invariants on a finished cluster.
+
+    ``conserved`` is an optional callable mapping a ``get``-able state
+    view (the seed dict or a replica's KVStore) to the workload's
+    conserved quantity; when omitted the conservation invariant is
+    vacuous (e.g. YCSB blind writes conserve nothing by design).
+    """
+
+    def __init__(self, conserved: Optional[Callable[[Mapping[str, Any]],
+                                                    Any]] = None) -> None:
+        self.conserved = conserved
+
+    def check(self, cluster: Cluster) -> SafetyReport:
+        failures: List[str] = []
+        failures.extend(self._check_prefixes(cluster))
+        failures.extend(self._check_convergence(cluster))
+        failures.extend(self._check_conservation(cluster))
+        return SafetyReport(failures=tuple(failures))
+
+    # -- invariants ----------------------------------------------------------
+
+    def _check_prefixes(self, cluster: Cluster) -> List[str]:
+        if not cluster.logs_prefix_consistent():
+            return ["commit logs are not prefix-consistent"]
+        return []
+
+    def _check_convergence(self, cluster: Cluster) -> List[str]:
+        by_length: Dict[int, Set[str]] = {}
+        for replica in cluster.live_replicas():
+            by_length.setdefault(len(replica.commit_log), set()).add(
+                replica.store.checksum())
+        failures = []
+        for length in sorted(by_length):
+            if len(by_length[length]) > 1:
+                failures.append(
+                    f"replicas with {length} committed blocks diverge "
+                    f"in state")
+        return failures
+
+    def _check_conservation(self, cluster: Cluster) -> List[str]:
+        if self.conserved is None:
+            return []
+        expected = self.conserved(cluster.initial_state)
+        failures = []
+        for replica in cluster.live_replicas():
+            actual = self.conserved(replica.store)
+            if actual != expected:
+                failures.append(
+                    f"replica {replica.id} conserved quantity {actual!r} "
+                    f"!= initial {expected!r}")
+        return failures

@@ -106,6 +106,18 @@ class Network:
     def remove_filter(self, delivery_filter: DeliveryFilter) -> None:
         self._filters.remove(delivery_filter)
 
+    def discard_filter(self, delivery_filter: DeliveryFilter) -> None:
+        """Remove a filter if (still) installed.
+
+        Idempotent, and safe to call from inside the filter itself while a
+        message is in flight — windowed behaviours use this to uninstall
+        themselves once their window has elapsed.
+        """
+        try:
+            self._filters.remove(delivery_filter)
+        except ValueError:
+            pass
+
     # -- plumbing ---------------------------------------------------------------
 
     def inbox(self, replica_id: int) -> Store:
@@ -120,7 +132,9 @@ class Network:
         message = Message(sender=sender, recipient=recipient, kind=kind,
                           payload=payload, sent_at=self.env.now)
         self.messages_sent += 1
-        for delivery_filter in self._filters:
+        # Snapshot: a filter may uninstall itself (discard_filter) while we
+        # are iterating.
+        for delivery_filter in tuple(self._filters):
             if not delivery_filter(message):
                 self.messages_dropped += 1
                 return

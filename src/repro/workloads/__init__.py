@@ -1,12 +1,22 @@
-"""Workload generators: SmallBank (the paper's suite) and YCSB-style."""
+"""Workload generators: SmallBank (the paper's suite), YCSB-style,
+TPC-C-lite, and the hostile traffic shapes that bend any of them."""
 
+from repro.workloads.shapes import (DiurnalLoad, FlashCrowd, MovingHotspot,
+                                    TrafficShape)
 from repro.workloads.smallbank_workload import (SmallBankWorkload,
                                                 WorkloadConfig)
+from repro.workloads.tpcc_lite import TPCCLiteConfig, TPCCLiteWorkload
 from repro.workloads.ycsb import (YCSB_READ, YCSB_RMW, YCSB_UPDATE,
                                   YCSBConfig, YCSBWorkload, register_ycsb)
 
 __all__ = [
+    "DiurnalLoad",
+    "FlashCrowd",
+    "MovingHotspot",
     "SmallBankWorkload",
+    "TPCCLiteConfig",
+    "TPCCLiteWorkload",
+    "TrafficShape",
     "WorkloadConfig",
     "YCSBConfig",
     "YCSBWorkload",

@@ -1,0 +1,110 @@
+"""Hostile traffic shapes layered over the Zipfian generators.
+
+The paper's workloads are stationary: a fixed Zipf skew and a fixed
+arrival rate.  Real deployments are not — load spikes (flash crowds), the
+hot set drifts (moving hotspots), and demand breathes with the clock
+(diurnal cycles).  A :class:`TrafficShape` bends an existing workload
+stream along both axes without touching its RNG draws:
+
+* ``demand(requested, now)`` rescales how many transactions a ``batch``
+  call actually produces at simulated time ``now``;
+* ``rotate(index, population, now)`` remaps a sampled Zipf rank before it
+  is turned into an account/record id, moving *which* keys are hot.
+
+Shapes are pure functions of ``(index, population, now)`` — they hold no
+randomness of their own, so a shaped stream is exactly as deterministic
+as the unshaped one: same seed, same timestamps, same transactions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+
+class TrafficShape:
+    """Identity shape: stationary load, stationary hot set."""
+
+    def demand(self, requested: int, now: float) -> int:
+        """How many transactions to actually generate at ``now``."""
+        return requested
+
+    def rotate(self, index: int, population: int, now: float) -> int:
+        """Remap a sampled Zipf rank within ``[0, population)``."""
+        return index
+
+
+class FlashCrowd(TrafficShape):
+    """A surge window: demand multiplies by ``surge`` during
+    ``[start, end)`` and, when ``focus`` is set, the whole crowd piles
+    onto the ``focus`` hottest keys (the rank collapses modulo ``focus``),
+    modelling a viral item.
+    """
+
+    def __init__(self, start: float, end: float, surge: float = 4.0,
+                 focus: int = 0) -> None:
+        if end <= start:
+            raise ConfigError(f"empty surge window [{start}, {end})")
+        if surge <= 0:
+            raise ConfigError(f"surge must be positive: {surge}")
+        if focus == 1 or focus < 0:
+            raise ConfigError(
+                f"focus must be 0 (disabled) or >= 2: {focus}")
+        self.start = start
+        self.end = end
+        self.surge = surge
+        self.focus = focus
+
+    def _surging(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def demand(self, requested: int, now: float) -> int:
+        if not self._surging(now):
+            return requested
+        return max(1, round(requested * self.surge))
+
+    def rotate(self, index: int, population: int, now: float) -> int:
+        if self.focus and self._surging(now):
+            return index % min(self.focus, max(1, population))
+        return index
+
+
+class MovingHotspot(TrafficShape):
+    """The hot set drifts: every ``period`` seconds the rank-to-key
+    mapping shifts by ``stride``, so yesterday's cold keys become today's
+    contention point while the *skew* stays identical."""
+
+    def __init__(self, period: float, stride: int = 1) -> None:
+        if period <= 0:
+            raise ConfigError(f"period must be positive: {period}")
+        if stride < 1:
+            raise ConfigError(f"stride must be >= 1: {stride}")
+        self.period = period
+        self.stride = stride
+
+    def rotate(self, index: int, population: int, now: float) -> int:
+        if population <= 1:
+            return index
+        shift = int(now / self.period) * self.stride
+        return (index + shift) % population
+
+
+class DiurnalLoad(TrafficShape):
+    """Demand breathes with a cosine day: a trough of ``low`` × nominal at
+    ``now = 0``, a peak of the full nominal rate half a ``period`` later.
+    At least one transaction is always generated so streams never stall
+    entirely."""
+
+    def __init__(self, period: float, low: float = 0.2) -> None:
+        if period <= 0:
+            raise ConfigError(f"period must be positive: {period}")
+        if not 0 < low <= 1:
+            raise ConfigError(f"low must be in (0, 1]: {low}")
+        self.period = period
+        self.low = low
+
+    def demand(self, requested: int, now: float) -> int:
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * now / self.period))
+        factor = self.low + (1.0 - self.low) * phase
+        return max(1, round(requested * factor))

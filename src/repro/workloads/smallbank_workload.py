@@ -25,6 +25,7 @@ from repro.core.shards import ShardMap
 from repro.errors import ConfigError
 from repro.sim.rng import ZipfGenerator, weighted_choice
 from repro.txn import Transaction
+from repro.workloads.shapes import TrafficShape
 
 
 @dataclass(frozen=True)
@@ -70,10 +71,16 @@ class SmallBankWorkload:
     def __init__(self, config: WorkloadConfig, shard_map: ShardMap,
                  seed: int, start_tx_id: int = 0,
                  shard: Optional[int] = None,
-                 tx_id_stride: int = 1) -> None:
+                 tx_id_stride: int = 1,
+                 shape: Optional[TrafficShape] = None) -> None:
         self.config = config
         self.shard_map = shard_map
         self.shard = shard
+        #: Optional hostile traffic shape (see repro.workloads.shapes):
+        #: rescales batch demand and drifts the hot set over time without
+        #: touching the stream's RNG draws.
+        self.shape = shape
+        self._now = 0.0
         self._rng = random.Random(seed)
         self._ids = count(start_tx_id, tx_id_stride)
         n = shard_map.n_shards
@@ -99,13 +106,21 @@ class SmallBankWorkload:
             return index
         return target + index * self.shard_map.n_shards
 
+    def _rotated(self, index: int, population: int) -> int:
+        """Apply the traffic shape's hot-set drift to a sampled rank."""
+        if self.shape is None:
+            return index
+        return self.shape.rotate(index, population, self._now) \
+            % max(1, population)
+
     def _pick_account(self) -> int:
-        return self._local_account(self._zipf.sample())
+        return self._local_account(
+            self._rotated(self._zipf.sample(), self._local_count))
 
     def _pick_pair(self, cross_shard: bool) -> tuple:
         """Two distinct accounts; cross-shard pairs span two shards."""
         if self.shard is not None:
-            a = self._local_account(self._zipf.sample())
+            a = self._pick_account()
             if cross_shard and self.shard_map.n_shards > 1:
                 others = [s for s in range(self.shard_map.n_shards)
                           if s != self.shard]
@@ -113,16 +128,22 @@ class SmallBankWorkload:
                 partner_count = len(range(partner_shard,
                                           self.config.accounts,
                                           self.shard_map.n_shards))
-                index = self._zipf.sample() % max(1, partner_count)
+                index = self._rotated(
+                    self._zipf.sample() % max(1, partner_count),
+                    partner_count)
                 return a, self._local_account(index, partner_shard)
             b = a
             while b == a:
-                b = self._local_account(self._zipf.sample())
+                b = self._pick_account()
             return a, b
         want_diff = cross_shard and self.shard_map.n_shards > 1
         for _ in range(10_000):
-            a, b = (self._local_account(i)
+            a, b = (self._local_account(self._rotated(i, self._local_count))
                     for i in self._zipf.sample_distinct(2))
+            if a == b:
+                # A focusing shape may collapse distinct ranks onto the
+                # same key; resample.
+                continue
             same = (self.shard_map.shard_of_account(a)
                     == self.shard_map.shard_of_account(b))
             if want_diff != same:
@@ -135,6 +156,7 @@ class SmallBankWorkload:
 
     def next_transaction(self, now: float = 0.0) -> Transaction:
         """Generate the next transaction of the stream."""
+        self._now = now
         config = self.config
         cross = (self._rng.random() < config.cross_shard_ratio)
         if config.extended_mix:
@@ -149,7 +171,9 @@ class SmallBankWorkload:
                           (a, b), now)
 
     def batch(self, size: int, now: float = 0.0) -> List[Transaction]:
-        """``size`` fresh transactions."""
+        """``size`` fresh transactions (rescaled by the traffic shape)."""
+        if self.shape is not None:
+            size = self.shape.demand(size, now)
         return [self.next_transaction(now) for _ in range(size)]
 
     def stream(self) -> Iterator[Transaction]:

@@ -1,0 +1,181 @@
+"""TPC-C-lite workload generation over the sharded warehouse space.
+
+Produces a deterministic stream of :mod:`repro.contracts.tpcc_lite`
+transactions: mostly new-orders (several Zipf-skewed item lines each, so
+the Concurrent Executor sees real multi-key read/write sets), a payment
+fraction (optionally remote → cross-shard), and a thin read-only
+stock-level scan.  Warehouses shard by ``warehouse % n_shards`` exactly
+like SmallBank accounts; a per-shard stream draws its home warehouse from
+the shard's warehouses only.
+
+Like the other generators, an optional :class:`repro.workloads.shapes.
+TrafficShape` bends demand and drifts the hot items/customers over time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import count
+from typing import List, Optional
+
+from repro.contracts import tpcc_lite
+from repro.core.shards import ShardMap
+from repro.errors import ConfigError
+from repro.sim.rng import ZipfGenerator
+from repro.txn import Transaction
+from repro.workloads.shapes import TrafficShape
+
+
+@dataclass(frozen=True)
+class TPCCLiteConfig:
+    """Parameters of one TPC-C-lite stream."""
+
+    warehouses: int = 8
+    customers_per_warehouse: int = 10
+    items_per_warehouse: int = 20
+    payment_fraction: float = 0.45
+    stock_level_fraction: float = 0.05   # remainder: new-orders
+    remote_ratio: float = 0.0            # remote (cross-shard) payments
+    max_lines: int = 4
+    max_quantity: int = 5
+    payment_max: int = 100
+    theta: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.warehouses < 1:
+            raise ConfigError(f"need >= 1 warehouse: {self.warehouses}")
+        if self.customers_per_warehouse < 1 or self.items_per_warehouse < 1:
+            raise ConfigError("need >= 1 customer and item per warehouse")
+        if self.payment_fraction < 0 or self.stock_level_fraction < 0 \
+                or self.payment_fraction + self.stock_level_fraction > 1:
+            raise ConfigError("transaction-type fractions must be "
+                              "non-negative and sum to <= 1")
+        if not 0 <= self.remote_ratio <= 1:
+            raise ConfigError(
+                f"remote_ratio must be in [0, 1]: {self.remote_ratio}")
+        if self.max_lines < 1 or self.max_quantity < 1:
+            raise ConfigError("max_lines and max_quantity must be >= 1")
+
+    def initial_state(self):
+        """Seed state matching this configuration's dimensions."""
+        return tpcc_lite.initial_state(
+            self.warehouses,
+            customers_per_warehouse=self.customers_per_warehouse,
+            items_per_warehouse=self.items_per_warehouse)
+
+    def conserved(self, state) -> tuple:
+        """The conserved (cash, stock) pair for this configuration."""
+        return (tpcc_lite.conserved_cash(
+                    state, self.warehouses,
+                    customers_per_warehouse=self.customers_per_warehouse),
+                tpcc_lite.conserved_stock(
+                    state, self.warehouses,
+                    items_per_warehouse=self.items_per_warehouse))
+
+
+class TPCCLiteWorkload:
+    """A deterministic TPC-C-lite transaction stream (global or per-shard)."""
+
+    def __init__(self, config: TPCCLiteConfig, shard_map: ShardMap,
+                 seed: int, start_tx_id: int = 0,
+                 shard: Optional[int] = None, tx_id_stride: int = 1,
+                 shape: Optional[TrafficShape] = None) -> None:
+        self.config = config
+        self.shard_map = shard_map
+        self.shard = shard
+        self.shape = shape
+        self._now = 0.0
+        self._rng = random.Random(seed)
+        self._ids = count(start_tx_id, tx_id_stride)
+        if shard is None:
+            self._warehouses = list(range(config.warehouses))
+        else:
+            if not 0 <= shard < shard_map.n_shards:
+                raise ConfigError(f"shard {shard} out of range")
+            self._warehouses = list(
+                range(shard, config.warehouses, shard_map.n_shards))
+            if not self._warehouses:
+                raise ConfigError(
+                    f"shard {shard} holds none of the "
+                    f"{config.warehouses} warehouses")
+        self._cust_zipf = ZipfGenerator(config.customers_per_warehouse,
+                                        config.theta, self._rng)
+        self._item_zipf = ZipfGenerator(config.items_per_warehouse,
+                                        config.theta, self._rng)
+
+    # -- sampling ------------------------------------------------------------
+
+    def _rotated(self, index: int, population: int) -> int:
+        if self.shape is None:
+            return index
+        return self.shape.rotate(index, population, self._now) \
+            % max(1, population)
+
+    def _warehouse(self) -> int:
+        return self._warehouses[self._rng.randrange(len(self._warehouses))]
+
+    def _customer(self) -> int:
+        return self._rotated(self._cust_zipf.sample(),
+                             self.config.customers_per_warehouse)
+
+    def _item(self) -> int:
+        return self._rotated(self._item_zipf.sample(),
+                             self.config.items_per_warehouse)
+
+    def _remote_warehouse(self, home: int) -> Optional[int]:
+        home_shard = self.shard_map.shard_of_account(home)
+        others = [w for w in range(self.config.warehouses)
+                  if self.shard_map.shard_of_account(w) != home_shard]
+        if not others:
+            return None
+        return others[self._rng.randrange(len(others))]
+
+    # -- generation ----------------------------------------------------------
+
+    def next_transaction(self, now: float = 0.0) -> Transaction:
+        self._now = now
+        config = self.config
+        u = self._rng.random()
+        warehouse = self._warehouse()
+        if u < config.payment_fraction:
+            customer = self._customer()
+            amount = self._rng.randint(1, config.payment_max)
+            if self._rng.random() < config.remote_ratio \
+                    and self.shard_map.n_shards > 1:
+                target = self._remote_warehouse(warehouse)
+                if target is not None:
+                    return self._make(
+                        tpcc_lite.PAYMENT,
+                        (warehouse, customer, amount, target),
+                        (warehouse, target), now)
+            return self._make(tpcc_lite.PAYMENT,
+                              (warehouse, customer, amount),
+                              (warehouse,), now)
+        if u < config.payment_fraction + config.stock_level_fraction:
+            scanned = tuple(sorted({self._item() for _ in range(3)}))
+            return self._make(tpcc_lite.STOCK_LEVEL, (warehouse, scanned),
+                              (warehouse,), now)
+        lines = []
+        ordered: set = set()
+        for _ in range(self._rng.randint(1, config.max_lines)):
+            item = self._item()
+            if item in ordered:
+                continue
+            ordered.add(item)
+            lines.append((item, self._rng.randint(1, config.max_quantity)))
+        return self._make(tpcc_lite.NEW_ORDER, (warehouse, tuple(lines)),
+                          (warehouse,), now)
+
+    def batch(self, size: int, now: float = 0.0) -> List[Transaction]:
+        if self.shape is not None:
+            size = self.shape.demand(size, now)
+        return [self.next_transaction(now) for _ in range(size)]
+
+    # -- internals -----------------------------------------------------------
+
+    def _make(self, contract: str, args: tuple, warehouses: tuple,
+              now: float) -> Transaction:
+        shard_ids = self.shard_map.shards_of_accounts(warehouses)
+        return Transaction(tx_id=next(self._ids), contract=contract,
+                           args=args, shard_ids=shard_ids, submitted_at=now)

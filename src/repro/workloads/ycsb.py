@@ -27,6 +27,7 @@ from repro.core.shards import ShardMap
 from repro.errors import ConfigError
 from repro.sim.rng import ZipfGenerator
 from repro.txn import Transaction
+from repro.workloads.shapes import TrafficShape
 
 #: Contract names installed by :func:`register_ycsb`.
 YCSB_READ = "ycsb.read"
@@ -117,10 +118,14 @@ class YCSBWorkload:
 
     def __init__(self, config: YCSBConfig, shard_map: ShardMap, seed: int,
                  start_tx_id: int = 0, shard: Optional[int] = None,
-                 tx_id_stride: int = 1) -> None:
+                 tx_id_stride: int = 1,
+                 shape: Optional[TrafficShape] = None) -> None:
         self.config = config
         self.shard_map = shard_map
         self.shard = shard
+        #: Optional hostile traffic shape (repro.workloads.shapes).
+        self.shape = shape
+        self._now = 0.0
         self._rng = random.Random(seed)
         self._ids = count(start_tx_id, tx_id_stride)
         n = shard_map.n_shards
@@ -135,17 +140,25 @@ class YCSBWorkload:
         self._zipf = ZipfGenerator(self._local_count, config.theta,
                                    self._rng)
 
+    def _rotated(self, index: int, population: int) -> int:
+        if self.shape is None:
+            return index
+        return self.shape.rotate(index, population, self._now) \
+            % max(1, population)
+
     def _record(self, shard: Optional[int] = None) -> int:
         target = self.shard if shard is None else shard
         index = self._zipf.sample()
         if target is None:
-            return index
+            return self._rotated(index, self._local_count)
         count_in_shard = len(range(target, self.config.records,
                                    self.shard_map.n_shards))
-        index %= max(1, count_in_shard)
+        index = self._rotated(index % max(1, count_in_shard),
+                              count_in_shard)
         return target + index * self.shard_map.n_shards
 
     def next_transaction(self, now: float = 0.0) -> Transaction:
+        self._now = now
         config = self.config
         u = self._rng.random()
         cross = (self._rng.random() < config.cross_shard_ratio
@@ -168,6 +181,8 @@ class YCSBWorkload:
                           (record,), now)
 
     def batch(self, size: int, now: float = 0.0) -> List[Transaction]:
+        if self.shape is not None:
+            size = self.shape.demand(size, now)
         return [self.next_transaction(now) for _ in range(size)]
 
     def _other_shard(self) -> int:

@@ -1,9 +1,14 @@
 """Unit tests for commit-time parallel validation (§4)."""
 
+import dataclasses
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ce import CommittedTx, build_validation_levels, validate_block
-from repro.ce.validation import estimate_validation_cost, _makespan
+from repro.ce.validation import (estimate_validation_cost, reexecute_block,
+                                 _makespan)
 from repro.contracts import (SEND_PAYMENT, GET_BALANCE, default_registry,
                              initial_state, run_inline)
 from repro.txn import Transaction
@@ -145,6 +150,110 @@ def test_more_validators_cheaper():
     few = estimate_validation_cost(entries, validators=1)
     many = estimate_validation_cost(entries, validators=16)
     assert many < few
+
+
+# ------------------------------------------------ deterministic re-execution
+
+
+def batch_fixture(registry):
+    """A small batch with conflicts, a read-only tx, and an insufficient-
+    funds edge — plus its honest serial preplay."""
+    state = initial_state(8)
+    txs = [Transaction(0, SEND_PAYMENT, (0, 1, 10), (0,)),
+           Transaction(1, SEND_PAYMENT, (1, 2, 5), (0,)),
+           Transaction(2, GET_BALANCE, (2,), (0,)),
+           Transaction(3, SEND_PAYMENT, (3, 0, 20_000), (0,))]
+    return state, txs, preplay_serial(txs, registry, state)
+
+
+def test_reexecute_block_matches_honest_outcome(registry):
+    """Canonical replay of an untampered block reproduces exactly the
+    writes and results the honest preplay declared."""
+    state, txs, entries = batch_fixture(registry)
+    honest = validate_block(entries, {t.tx_id: t for t in txs}, registry,
+                            state)
+    assert honest.valid
+    recovery = reexecute_block(entries, {t.tx_id: t for t in txs},
+                               registry, state)
+    assert recovery.writes == honest.writes
+    assert recovery.results == {e.tx_id: e.result for e in entries}
+    assert tuple(recovery.executed) == tuple(t.tx_id for t in txs)
+    assert recovery.simulated_cost > 0
+
+
+def test_reexecute_block_appends_transactions_missing_from_entries(registry):
+    """A Byzantine executor may omit block transactions from its preplay
+    set entirely; re-execution still runs every block transaction."""
+    state, txs, entries = batch_fixture(registry)
+    recovery = reexecute_block(entries[:2], {t.tx_id: t for t in txs},
+                               registry, state)
+    assert tuple(recovery.executed) == tuple(t.tx_id for t in txs)
+    honest = reexecute_block(entries, {t.tx_id: t for t in txs}, registry,
+                             state)
+    assert recovery.writes == honest.writes
+
+
+def test_reexecute_block_ignores_entries_for_unknown_transactions(registry):
+    """Entries whose tx_id is not in the block cannot smuggle work in."""
+    state, txs, entries = batch_fixture(registry)
+    forged = CommittedTx(tx_id=999, order_index=0,
+                         read_set={}, write_set={"checking:0": 0},
+                         result=None, attempts=1)
+    recovery = reexecute_block([forged] + entries,
+                               {t.tx_id: t for t in txs}, registry, state)
+    assert 999 not in recovery.executed
+    assert recovery.writes["checking:0"] != 0
+
+
+def _corrupt(entry, mode):
+    reads = dict(entry.read_set)
+    writes = dict(entry.write_set)
+    if mode == "add-read":
+        reads["bogus:read"] = 1
+    elif mode == "add-write":
+        writes["bogus:write"] = 1
+    elif mode == "flip-read":
+        key = sorted(reads)[0]
+        reads[key] = reads[key] + 1
+    elif mode == "flip-write":
+        key = sorted(writes)[0]
+        writes[key] = writes[key] + 1
+    elif mode == "drop-read":
+        del reads[sorted(reads)[0]]
+    else:  # drop-write
+        del writes[sorted(writes)[0]]
+    return dataclasses.replace(entry, read_set=reads, write_set=writes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_any_preplay_corruption_is_rejected_then_recovered(data):
+    """Property (ISSUE satellite): for *any* single-entry corruption of a
+    valid preplay set, validation rejects the block and deterministic
+    re-execution restores the canonical honest writes and results."""
+    registry = default_registry()
+    state, txs, entries = batch_fixture(registry)
+    index = data.draw(st.integers(0, len(entries) - 1), label="entry")
+    entry = entries[index]
+    modes = ["add-read", "add-write"]
+    if entry.read_set:
+        modes += ["flip-read", "drop-read"]
+    if entry.write_set:
+        modes += ["flip-write", "drop-write"]
+    mode = data.draw(st.sampled_from(modes), label="mode")
+    corrupted = list(entries)
+    corrupted[index] = _corrupt(entry, mode)
+    txmap = {t.tx_id: t for t in txs}
+
+    honest = validate_block(entries, txmap, registry, state)
+    assert honest.valid
+    outcome = validate_block(corrupted, txmap, registry, state)
+    assert not outcome.valid, (index, mode)
+
+    recovery = reexecute_block(corrupted, txmap, registry, state)
+    assert recovery.writes == honest.writes
+    assert recovery.results == {e.tx_id: e.result for e in entries}
+    assert tuple(recovery.executed) == tuple(t.tx_id for t in txs)
 
 
 def test_contention_does_not_serialize_validation():

@@ -159,6 +159,61 @@ def test_reconfigure_mid_drain_tears_down_and_rebuilds():
     assert len(proc.value.committed) == 10
 
 
+# ------------------------------------------------------- mid-run faults
+
+def run_faulted_cluster(engine, install, seed=21, duration=0.3):
+    """Build a cluster, let ``install(cluster)`` plant a fault schedule,
+    then run — so both engines see the identical hostile timeline."""
+    from repro.ce.runner import CEConfig
+    config = ThunderboltConfig(n_replicas=4, batch_size=10, seed=seed,
+                               engine=engine, ce=CEConfig(executors=16),
+                               k_silent=4, leader_timeout=0.01)
+    cluster = Cluster(config, WorkloadConfig(accounts=200,
+                                             cross_shard_ratio=0.1))
+    install(cluster)
+    result = cluster.run(duration, drain=0.1)
+    digests = tuple(tuple(r.commit_log.digests()) for r in cluster.replicas)
+    return result, digests, cluster
+
+
+def test_streaming_matches_per_round_under_mid_drain_crash():
+    """A replica crash-stopped mid-run (timed to land inside a preplay
+    drain) leaves the streaming engine digest-identical to ``ce`` — an
+    aborted session must not perturb the committed schedule."""
+    from repro.adversary import schedule_crashes
+
+    def crash(cluster):
+        schedule_crashes(cluster, [3], at=0.11)
+
+    reference, ref_digests, _ = run_faulted_cluster("ce", crash)
+    streamed, digests, cluster = run_faulted_cluster("ce-streaming", crash)
+    assert cluster.replicas[3].crashed
+    assert digests == ref_digests
+    assert streamed.executed == reference.executed
+    assert streamed.executed > 0
+    assert cluster.logs_prefix_consistent()
+
+
+def test_streaming_matches_per_round_under_mid_run_censorship():
+    """A censorship window opening and closing mid-run (forcing a
+    Shift-block reconfiguration that tears sessions down) keeps the two
+    engines digest-identical."""
+    from repro.adversary import Censorship
+
+    def censor(cluster):
+        cluster.install(Censorship([1], start=0.08, end=0.2))
+
+    reference, ref_digests, _ = run_faulted_cluster("ce", censor,
+                                                    duration=0.4)
+    streamed, digests, cluster = run_faulted_cluster("ce-streaming", censor,
+                                                     duration=0.4)
+    assert streamed.reconfigurations >= 1
+    assert streamed.reconfigurations == reference.reconfigurations
+    assert digests == ref_digests
+    assert streamed.executed == reference.executed
+    assert cluster.logs_prefix_consistent()
+
+
 @pytest.mark.slow
 def test_cluster_reconfigurations_orphan_no_workers(monkeypatch):
     """Over a run with many epoch transitions, every superseded session is

@@ -1,0 +1,62 @@
+"""The SafetyChecker must be able to *fail* — a checker that cannot
+detect a planted violation proves nothing about the green matrix."""
+
+from repro.scenarios import SafetyChecker
+from tests.conftest import make_cluster
+
+
+def run_small_cluster():
+    cluster = make_cluster()
+    cluster.run(0.1, drain=0.05)
+    return cluster
+
+
+def smallbank_conserved(accounts):
+    def conserved(state):
+        total = 0
+        for account in range(accounts):
+            total += state.get(f"checking:{account}", 0)
+            total += state.get(f"savings:{account}", 0)
+        return total
+    return conserved
+
+
+def test_honest_run_passes_all_invariants():
+    cluster = run_small_cluster()
+    accounts = cluster.workload_config.accounts
+    report = SafetyChecker(conserved=smallbank_conserved(accounts)).check(
+        cluster)
+    assert report.ok
+    assert report.failures == ()
+
+
+def test_checker_without_conserved_fn_skips_conservation():
+    cluster = run_small_cluster()
+    assert SafetyChecker().check(cluster).ok
+
+
+def test_checker_detects_minted_value_and_divergence():
+    """Planting money in one replica's store trips both the conservation
+    and the convergence invariant."""
+    cluster = run_small_cluster()
+    accounts = cluster.workload_config.accounts
+    victim = cluster.replicas[0]
+    victim.store.apply_batch({"checking:0":
+                              victim.store.get("checking:0", 0) + 1})
+    report = SafetyChecker(conserved=smallbank_conserved(accounts)).check(
+        cluster)
+    assert not report.ok
+    assert any("conserved" in failure for failure in report.failures)
+    assert any("diverge" in failure for failure in report.failures)
+
+
+def test_checker_detects_prefix_violation():
+    """Two replicas committing different blocks at the same height is the
+    canonical safety violation."""
+    cluster = run_small_cluster()
+    now = cluster.env.now
+    cluster.replicas[0].commit_log.append(0, 999, "fork-a", now)
+    cluster.replicas[1].commit_log.append(0, 999, "fork-b", now)
+    report = SafetyChecker().check(cluster)
+    assert not report.ok
+    assert any("prefix" in failure for failure in report.failures)

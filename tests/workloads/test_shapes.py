@@ -1,0 +1,170 @@
+"""Unit tests for the hostile traffic shapes and their workload hookup."""
+
+import pytest
+
+from repro.core import ShardMap
+from repro.errors import ConfigError
+from repro.workloads import (DiurnalLoad, FlashCrowd, MovingHotspot,
+                             SmallBankWorkload, TrafficShape,
+                             WorkloadConfig, YCSBConfig, YCSBWorkload)
+
+
+# ----------------------------------------------------------- pure shapes
+
+
+def test_identity_shape_is_a_no_op():
+    shape = TrafficShape()
+    assert shape.demand(10, 0.5) == 10
+    assert shape.rotate(7, 100, 0.5) == 7
+
+
+def test_flash_crowd_validation():
+    with pytest.raises(ConfigError):
+        FlashCrowd(start=0.5, end=0.5)
+    with pytest.raises(ConfigError):
+        FlashCrowd(start=0.0, end=1.0, surge=0.0)
+    with pytest.raises(ConfigError):
+        FlashCrowd(start=0.0, end=1.0, focus=1)
+    with pytest.raises(ConfigError):
+        FlashCrowd(start=0.0, end=1.0, focus=-2)
+
+
+def test_flash_crowd_surges_only_inside_window():
+    shape = FlashCrowd(start=0.2, end=0.6, surge=3.0, focus=4)
+    assert shape.demand(10, 0.1) == 10
+    assert shape.demand(10, 0.2) == 30
+    assert shape.demand(10, 0.6) == 10  # end is exclusive
+    # Focus collapses ranks onto the hottest keys only while surging.
+    assert shape.rotate(9, 100, 0.3) == 9 % 4
+    assert shape.rotate(9, 100, 0.7) == 9
+
+
+def test_flash_crowd_focus_clamps_to_population():
+    shape = FlashCrowd(start=0.0, end=1.0, surge=2.0, focus=50)
+    assert shape.rotate(7, 3, 0.5) == 7 % 3
+
+
+def test_moving_hotspot_validation():
+    with pytest.raises(ConfigError):
+        MovingHotspot(period=0.0)
+    with pytest.raises(ConfigError):
+        MovingHotspot(period=1.0, stride=0)
+
+
+def test_moving_hotspot_drifts_by_stride_each_period():
+    shape = MovingHotspot(period=1.0, stride=3)
+    assert shape.rotate(5, 100, 0.0) == 5
+    assert shape.rotate(5, 100, 0.99) == 5
+    assert shape.rotate(5, 100, 1.0) == 8
+    assert shape.rotate(5, 100, 2.5) == 11
+    assert shape.rotate(99, 100, 1.0) == 2  # wraps
+    assert shape.rotate(0, 1, 5.0) == 0     # degenerate population
+
+
+def test_diurnal_validation():
+    with pytest.raises(ConfigError):
+        DiurnalLoad(period=0.0)
+    with pytest.raises(ConfigError):
+        DiurnalLoad(period=1.0, low=0.0)
+    with pytest.raises(ConfigError):
+        DiurnalLoad(period=1.0, low=1.5)
+
+
+def test_diurnal_breathes_between_low_and_full():
+    shape = DiurnalLoad(period=1.0, low=0.2)
+    assert shape.demand(100, 0.0) == 20       # trough
+    assert shape.demand(100, 0.5) == 100      # peak
+    assert shape.demand(100, 1.0) == 20       # next trough
+    assert 20 < shape.demand(100, 0.25) < 100
+    assert shape.demand(1, 0.0) == 1          # never stalls a stream
+
+
+# ------------------------------------------------------- workload hookup
+
+
+def make_smallbank(shape, shard=0, **kwargs):
+    defaults = dict(accounts=100, read_probability=0.5)
+    defaults.update(kwargs)
+    return SmallBankWorkload(WorkloadConfig(**defaults), ShardMap(4),
+                             seed=3, shard=shard, shape=shape)
+
+
+def test_identity_shape_matches_unshaped_stream():
+    """``shape=None`` and the identity shape draw the same RNG sequence
+    and emit byte-identical transactions — shapes cost nothing when off."""
+    plain = make_smallbank(None).batch(100, now=0.4)
+    shaped = make_smallbank(TrafficShape()).batch(100, now=0.4)
+    assert [(t.contract, t.args) for t in plain] == \
+        [(t.contract, t.args) for t in shaped]
+
+
+def test_shaped_stream_is_deterministic():
+    def build():
+        stream = make_smallbank(FlashCrowd(0.0, 1.0, surge=2.0, focus=4))
+        txs = []
+        for step in range(5):
+            txs += stream.batch(10, now=step * 0.3)
+        return [(t.tx_id, t.contract, t.args) for t in txs]
+    assert build() == build()
+
+
+def test_flash_crowd_scales_batch_demand():
+    shape = FlashCrowd(start=0.2, end=0.6, surge=3.0)
+    stream = make_smallbank(shape)
+    assert len(stream.batch(10, now=0.1)) == 10
+    assert len(stream.batch(10, now=0.3)) == 30
+
+
+def test_flash_crowd_concentrates_the_hot_set():
+    """During the surge every sampled rank collapses onto ``focus``
+    accounts; afterwards the Zipf tail reappears."""
+    shape = FlashCrowd(start=0.0, end=0.5, surge=1.0, focus=4)
+    stream = make_smallbank(shape, read_probability=1.0,
+                            cross_shard_ratio=0.0)
+    hot = {tx.args[0] for tx in stream.batch(300, now=0.1)}
+    assert len(hot) <= 4
+    cold = {tx.args[0] for tx in stream.batch(300, now=0.9)}
+    assert len(cold) > 4
+
+
+def test_rotation_preserves_shard_placement():
+    """Rotation happens in rank space, before ranks become account ids, so
+    a per-shard stream never leaks keys into a foreign shard."""
+    shard_map = ShardMap(4)
+    for shape in (FlashCrowd(0.0, 1.0, surge=1.0, focus=4),
+                  MovingHotspot(period=0.1, stride=7)):
+        stream = make_smallbank(shape, shard=2, read_probability=1.0,
+                                cross_shard_ratio=0.0)
+        for tx in stream.batch(200, now=0.35):
+            assert shard_map.shard_of_account(tx.args[0]) == 2
+
+
+def test_moving_hotspot_moves_the_mode():
+    """The same stream's hottest account changes across periods while the
+    skew (a dominant mode) is preserved."""
+    stream = make_smallbank(MovingHotspot(period=0.1, stride=7),
+                            read_probability=1.0, cross_shard_ratio=0.0,
+                            theta=0.99)
+    early = [tx.args[0] for tx in stream.batch(500, now=0.0)]
+    late = [tx.args[0] for tx in stream.batch(500, now=0.55)]
+    early_mode = max(set(early), key=early.count)
+    late_mode = max(set(late), key=late.count)
+    assert early_mode != late_mode
+    assert late.count(late_mode) > len(late) * 0.2
+
+
+def test_diurnal_scales_ycsb_batches():
+    config = YCSBConfig(records=100)
+    stream = YCSBWorkload(config, ShardMap(4), seed=5,
+                          shape=DiurnalLoad(period=1.0, low=0.2))
+    assert len(stream.batch(50, now=0.0)) == 10
+    assert len(stream.batch(50, now=0.5)) == 50
+
+
+def test_ycsb_shaped_stream_stays_deterministic():
+    def build():
+        stream = YCSBWorkload(YCSBConfig(records=100), ShardMap(4), seed=5,
+                              shard=1,
+                              shape=MovingHotspot(period=0.2, stride=3))
+        return [(t.contract, t.args) for t in stream.batch(100, now=0.45)]
+    assert build() == build()

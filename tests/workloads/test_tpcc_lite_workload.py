@@ -1,0 +1,105 @@
+"""Unit tests for the TPC-C-lite workload generator."""
+
+import pytest
+
+from repro.contracts import tpcc_lite
+from repro.core import ShardMap
+from repro.errors import ConfigError
+from repro.workloads import FlashCrowd, TPCCLiteConfig, TPCCLiteWorkload
+
+
+def make(shard=None, n_shards=4, seed=1, shape=None, **kwargs):
+    defaults = dict(warehouses=8)
+    defaults.update(kwargs)
+    config = TPCCLiteConfig(**defaults)
+    return TPCCLiteWorkload(config, ShardMap(n_shards), seed=seed,
+                            shard=shard, shape=shape)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        TPCCLiteConfig(warehouses=0)
+    with pytest.raises(ConfigError):
+        TPCCLiteConfig(customers_per_warehouse=0)
+    with pytest.raises(ConfigError):
+        TPCCLiteConfig(payment_fraction=0.8, stock_level_fraction=0.3)
+    with pytest.raises(ConfigError):
+        TPCCLiteConfig(remote_ratio=1.5)
+    with pytest.raises(ConfigError):
+        TPCCLiteConfig(max_lines=0)
+
+
+def test_shard_validation():
+    with pytest.raises(ConfigError):
+        make(shard=9)
+    with pytest.raises(ConfigError):
+        make(shard=3, warehouses=2)  # shard 3 holds no warehouse
+
+
+def test_mix_covers_all_contract_types():
+    stream = make()
+    contracts = {tx.contract for tx in stream.batch(500)}
+    assert contracts == set(tpcc_lite.ALL_CONTRACTS)
+
+
+def test_tx_ids_strided():
+    config = TPCCLiteConfig()
+    stream = TPCCLiteWorkload(config, ShardMap(4), seed=1, start_tx_id=2,
+                              tx_id_stride=4)
+    assert [tx.tx_id for tx in stream.batch(5)] == [2, 6, 10, 14, 18]
+
+
+def test_per_shard_stream_uses_only_home_warehouses():
+    stream = make(shard=2, remote_ratio=0.0)
+    shard_map = ShardMap(4)
+    for tx in stream.batch(300):
+        warehouse = tx.args[0]
+        assert warehouse % 4 == 2
+        assert tx.shard_ids == (2,)
+        assert shard_map.shard_of_account(warehouse) == 2
+
+
+def test_remote_payments_declare_both_shards():
+    stream = make(shard=1, payment_fraction=1.0,
+                  stock_level_fraction=0.0, remote_ratio=1.0)
+    remote = [tx for tx in stream.batch(200) if len(tx.args) == 4]
+    assert remote, "remote_ratio=1.0 produced no remote payments"
+    shard_map = ShardMap(4)
+    for tx in remote:
+        home, _, _, target = tx.args
+        assert shard_map.shard_of_account(home) != \
+            shard_map.shard_of_account(target)
+        assert set(tx.shard_ids) == {shard_map.shard_of_account(home),
+                                     shard_map.shard_of_account(target)}
+
+
+def test_new_order_lines_are_deduplicated_and_bounded():
+    stream = make(payment_fraction=0.0, stock_level_fraction=0.0,
+                  max_lines=4, max_quantity=5)
+    for tx in stream.batch(300):
+        warehouse, lines = tx.args
+        items = [item for item, _ in lines]
+        assert len(items) == len(set(items))
+        assert 1 <= len(lines) <= 4
+        for item, quantity in lines:
+            assert 0 <= item < 20
+            assert 1 <= quantity <= 5
+
+
+def test_deterministic_given_seed():
+    def build():
+        return [(tx.contract, tx.args) for tx in make(seed=7).batch(100)]
+    assert build() == build()
+
+
+def test_shape_rotation_keeps_ids_in_range():
+    shape = FlashCrowd(start=0.0, end=1.0, surge=2.0, focus=3)
+    stream = make(shard=0, shape=shape)
+    txs = stream.batch(100, now=0.5)
+    assert len(txs) == 200  # demand doubled by the surge
+    for tx in txs:
+        if tx.contract == tpcc_lite.PAYMENT:
+            assert 0 <= tx.args[1] < 10
+        elif tx.contract == tpcc_lite.NEW_ORDER:
+            for item, _ in tx.args[1]:
+                assert 0 <= item < 20

@@ -49,11 +49,17 @@ _LAYER_ALLOWED: Dict[str, Set[str]] = {
     "core": _FOUNDATION | {"crypto", "sim", "storage", "contracts",
                            "metrics", "ce", "dag", "baselines",
                            "workloads"},
+    # The scenario matrix orchestrates whole hostile-world deployments:
+    # it sits above core/adversary/workloads the way experiment drivers
+    # do, but ships as a library so tests and benchmarks share one
+    # harness.  Nothing may import *it* except the top-level package.
+    "scenarios": _FOUNDATION | {"sim", "storage", "contracts", "metrics",
+                                "ce", "workloads", "adversary", "core"},
     # Top-level package modules (__init__, __main__) tie everything
     # together and may import any layer.
     "": {"errors", "txn", "crypto", "sim", "storage", "contracts",
          "metrics", "ce", "dag", "baselines", "workloads", "adversary",
-         "core"},
+         "core", "scenarios"},
 }
 
 #: Packages no production or example module may ever import: test code
