@@ -1,0 +1,560 @@
+"""Closure-bitset backends for the reachability index (ROADMAP item 3).
+
+:class:`~repro.ce.depgraph.DependencyGraph` maintains an Italiano-style
+transitive closure: per indexed node a *down* row (descendants, self
+included) and an *up* row (ancestors, self included), with ``has_path``
+a single bit test.  This module isolates the row *storage* behind one
+small interface so the algorithmic layer in ``depgraph.py`` stays
+backend-agnostic:
+
+``pyint``
+    The seed implementation: one arbitrary-precision Python int per row.
+    Simple and allocation-heavy — every single-bit repair clear and every
+    closure union reallocates the whole row.
+
+``packed-numpy``
+    Rows packed into two 2-D ``uint64`` arrays (down and up tables) with
+    geometric capacity growth.  The three hot mutations become row-wise
+    vector ops instead of per-row big-int churn:
+
+    * *edge insertion* ORs the new descendant row into every ancestor row
+      with one fancy-indexed broadcast (``table[ancestors] |= table[dst]``);
+    * *repair clears* drop the departing serial's bit from its whole cone
+      with one single-column fancy-indexed AND;
+    * *rebuilds* union each node's successor rows with one
+      ``bitwise_or.reduce`` per node in topological order.
+
+    Bit ``s`` of a row lives in word ``s >> 6`` at in-word position
+    ``s & 63`` (little-endian within the word, which is what
+    ``np.unpackbits(..., bitorder="little")`` enumerates).
+
+``packed-array``
+    The same word-packed layout on ``array('Q')`` rows, operated word by
+    word in pure Python.  It exists so the *packed* layout stays a
+    supported install without numpy (this repo is stdlib-only by policy;
+    numpy is an optional accelerator) — it is a correctness fallback, not
+    a fast path.
+
+``make_backend("packed")`` resolves to ``packed-numpy`` when numpy is
+importable and ``packed-array`` otherwise — that is the whole fallback
+rule, decided once per backend construction.
+
+Determinism: every backend enumerates set bits in ascending serial order
+and computes identical closures, so index answers, bridge planning, and
+therefore committed schedules are byte-for-byte identical across
+backends (enforced by the parity suites in ``tests/ce``).  numpy imports
+are confined to this module by reprolint rule L203 so the DES/core
+layers stay stdlib-only.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+try:  # optional accelerator; every caller must tolerate absence
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the stdlib CI cell
+    _np = None
+
+#: Names :func:`make_backend` accepts (``CEConfig.index_backend`` values).
+BACKEND_NAMES = ("pyint", "packed", "packed-numpy", "packed-array")
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def numpy_available() -> bool:
+    """Whether the numpy-accelerated backend can be constructed."""
+    return _np is not None
+
+
+def numpy_version() -> Optional[str]:
+    """numpy's version string, or ``None`` when absent (bench metadata)."""
+    return None if _np is None else str(_np.__version__)
+
+
+def make_backend(name: str = "pyint"):
+    """Construct the named closure-bitset backend.
+
+    ``"packed"`` applies the fallback rule: the numpy backend when numpy
+    is importable, the ``array('Q')`` backend otherwise.  Asking for
+    ``"packed-numpy"`` explicitly on a numpy-less install is an error.
+    """
+    if name == "pyint":
+        return PyIntBitsetBackend()
+    if name == "packed":
+        if _np is not None:
+            return PackedNumpyBitsetBackend()
+        return PackedArrayBitsetBackend()
+    if name == "packed-numpy":
+        return PackedNumpyBitsetBackend()
+    if name == "packed-array":
+        return PackedArrayBitsetBackend()
+    raise ConfigError(
+        f"unknown index backend {name!r}; choose from {BACKEND_NAMES}")
+
+
+class PyIntBitsetBackend:
+    """Rows as Python ints (the seed implementation, extracted verbatim).
+
+    Kept as the default: it has no dependencies, no per-call constant
+    overhead, and its closures are the byte-parity reference the packed
+    backends are tested against.
+    """
+
+    name = "pyint"
+
+    def __init__(self) -> None:
+        self._down: List[int] = []
+        self._up: List[int] = []
+        #: High-water row width in 64-bit words (never reset by clears;
+        #: surfaced as ``CCStats.bitset_words``).
+        self.peak_words = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def size(self) -> int:
+        return len(self._down)
+
+    def words(self) -> int:
+        """Current row width in 64-bit words."""
+        return (len(self._down) + 63) >> 6
+
+    def _note_width(self) -> None:
+        width = (len(self._down) + 63) >> 6
+        if width > self.peak_words:
+            self.peak_words = width
+
+    def clear(self) -> None:
+        self._down.clear()
+        self._up.clear()
+
+    def append_singleton(self) -> None:
+        """Register the next serial with only its own bit set."""
+        bit = 1 << len(self._down)
+        self._down.append(bit)
+        self._up.append(bit)
+        self._note_width()
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, src: int, dst: int) -> bool:
+        return bool(self._down[src] >> dst & 1)
+
+    def descendants(self, serial: int) -> List[int]:
+        """Set serials of the down row, ascending, self excluded."""
+        return _int_bits(self._down[serial] & ~(1 << serial))
+
+    def ancestors(self, serial: int) -> List[int]:
+        return _int_bits(self._up[serial] & ~(1 << serial))
+
+    # -- mutations ---------------------------------------------------------
+
+    def connect(self, src: int, dst: int) -> None:
+        """Italiano propagation for a new non-redundant edge src -> dst:
+        OR ``down[dst]`` into every ancestor of src and ``up[src]`` into
+        every descendant of dst (both cones include their endpoint)."""
+        down = self._down
+        up = self._up
+        ancestors = up[src]
+        descendants = down[dst]
+        remaining = ancestors
+        while remaining:
+            low = remaining & -remaining
+            down[low.bit_length() - 1] |= descendants
+            remaining ^= low
+        remaining = descendants
+        while remaining:
+            low = remaining & -remaining
+            up[low.bit_length() - 1] |= ancestors
+            remaining ^= low
+
+    def discard(self, serial: int, max_cone: int) -> Optional[int]:
+        """Decremental repair: clear ``serial``'s bit from its affected
+        cone and zero its own rows.  Returns the cone size, or ``None``
+        — with nothing mutated — when the cone exceeds ``max_cone``."""
+        mask = 1 << serial
+        ancestors = self._up[serial] & ~mask
+        descendants = self._down[serial] & ~mask
+        cone = ancestors.bit_count() + descendants.bit_count()
+        if cone > max_cone:
+            return None
+        down = self._down
+        up = self._up
+        remaining = ancestors
+        while remaining:
+            low = remaining & -remaining
+            down[low.bit_length() - 1] &= ~mask
+            remaining ^= low
+        remaining = descendants
+        while remaining:
+            low = remaining & -remaining
+            up[low.bit_length() - 1] &= ~mask
+            remaining ^= low
+        down[serial] = 0
+        up[serial] = 0
+        return cone
+
+    def zero_node(self, serial: int) -> None:
+        """Drop an evicted node's rows (pruning: no cone carries its bit)."""
+        self._down[serial] = 0
+        self._up[serial] = 0
+
+    def rebuild(self, count: int, topo: Optional[List[int]],
+                out_serials: List[List[int]],
+                in_serials: List[List[int]]) -> None:
+        """Closure from scratch over ``count`` compacted serials.
+
+        ``topo`` is a topological order (down rows are unioned in reverse
+        topo, up rows in topo order); ``None`` means the caller found a
+        cycle and a fixpoint iteration is required.
+        """
+        down = [1 << serial for serial in range(count)]
+        up = list(down)
+        if topo is not None:
+            for serial in reversed(topo):
+                acc = down[serial]
+                for target in out_serials[serial]:
+                    acc |= down[target]
+                down[serial] = acc
+            for serial in topo:
+                acc = up[serial]
+                for source in in_serials[serial]:
+                    acc |= up[source]
+                up[serial] = acc
+        else:  # pragma: no cover - cycles only arise in hand-built graphs
+            for sets, edges in ((down, out_serials), (up, in_serials)):
+                changed = True
+                while changed:
+                    changed = False
+                    for serial in range(count):
+                        acc = sets[serial]
+                        for neighbor in edges[serial]:
+                            acc |= sets[neighbor]
+                        if acc != sets[serial]:
+                            sets[serial] = acc
+                            changed = True
+        self._down = down
+        self._up = up
+        self._note_width()
+
+
+class PackedNumpyBitsetBackend:
+    """Rows as two 2-D ``uint64`` numpy tables with geometric growth.
+
+    Live rows are ``table[:n, :]``; capacity beyond ``n`` rows (and
+    beyond the live word width) is zero-filled so whole-row operations
+    can ignore the boundary.  See the module docstring for the layout
+    and which mutations vectorize.
+    """
+
+    name = "packed-numpy"
+
+    def __init__(self) -> None:
+        if _np is None:
+            raise ConfigError(
+                "backend 'packed-numpy' requires numpy; use 'packed' for "
+                "the automatic array('Q') fallback")
+        self._n = 0
+        self._cap_words = 1
+        self._down = _np.zeros((0, 1), dtype=_np.uint64)
+        self._up = _np.zeros((0, 1), dtype=_np.uint64)
+        self.peak_words = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def size(self) -> int:
+        return self._n
+
+    def words(self) -> int:
+        return (self._n + 63) >> 6
+
+    def _note_width(self) -> None:
+        width = (self._n + 63) >> 6
+        if width > self.peak_words:
+            self.peak_words = width
+
+    def clear(self) -> None:
+        self._n = 0
+        self._cap_words = 1
+        self._down = _np.zeros((0, 1), dtype=_np.uint64)
+        self._up = _np.zeros((0, 1), dtype=_np.uint64)
+
+    def _grow(self, need_rows: int, need_words: int) -> None:
+        rows = max(len(self._down), 64)
+        while rows < need_rows:
+            rows *= 2
+        cap_words = self._cap_words
+        while cap_words < need_words:
+            cap_words *= 2
+        if rows == len(self._down) and cap_words == self._cap_words:
+            return
+        down = _np.zeros((rows, cap_words), dtype=_np.uint64)
+        up = _np.zeros((rows, cap_words), dtype=_np.uint64)
+        if self._n:
+            down[:self._n, :self._cap_words] = self._down[:self._n]
+            up[:self._n, :self._cap_words] = self._up[:self._n]
+        self._down = down
+        self._up = up
+        self._cap_words = cap_words
+
+    def append_singleton(self) -> None:
+        serial = self._n
+        self._grow(serial + 1, (serial >> 6) + 1)
+        self._n += 1
+        bit = _np.uint64(1 << (serial & 63))
+        self._down[serial, serial >> 6] = bit
+        self._up[serial, serial >> 6] = bit
+        self._note_width()
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, src: int, dst: int) -> bool:
+        return bool(int(self._down[src, dst >> 6]) >> (dst & 63) & 1)
+
+    def _bits(self, row) -> "_np.ndarray":
+        """Ascending set-bit serials of one live-width row."""
+        words = (self._n + 63) >> 6
+        packed = row[:words].view(_np.uint8)
+        return _np.nonzero(_np.unpackbits(packed, bitorder="little"))[0]
+
+    def descendants(self, serial: int) -> List[int]:
+        return [int(s) for s in self._bits(self._down[serial])
+                if s != serial]
+
+    def ancestors(self, serial: int) -> List[int]:
+        return [int(s) for s in self._bits(self._up[serial]) if s != serial]
+
+    # -- mutations ---------------------------------------------------------
+
+    def connect(self, src: int, dst: int) -> None:
+        down = self._down
+        up = self._up
+        ancestors = self._bits(up[src])        # src's bit included
+        descendants = self._bits(down[dst])    # dst's bit included
+        down[ancestors] |= down[dst]
+        up[descendants] |= up[src]
+
+    def discard(self, serial: int, max_cone: int) -> Optional[int]:
+        all_up = self._bits(self._up[serial])
+        all_down = self._bits(self._down[serial])
+        ancestors = all_up[all_up != serial]
+        descendants = all_down[all_down != serial]
+        cone = len(ancestors) + len(descendants)
+        if cone > max_cone:
+            return None
+        word = serial >> 6
+        keep = _np.uint64(~_np.uint64(1 << (serial & 63)))
+        if len(ancestors):
+            self._down[ancestors, word] &= keep
+        if len(descendants):
+            self._up[descendants, word] &= keep
+        self._down[serial] = 0
+        self._up[serial] = 0
+        return cone
+
+    def zero_node(self, serial: int) -> None:
+        self._down[serial] = 0
+        self._up[serial] = 0
+
+    def rebuild(self, count: int, topo: Optional[List[int]],
+                out_serials: List[List[int]],
+                in_serials: List[List[int]]) -> None:
+        words = max(1, (count + 63) >> 6)
+        down = _np.zeros((count, words), dtype=_np.uint64)
+        up = _np.zeros((count, words), dtype=_np.uint64)
+        if count:
+            serials = _np.arange(count)
+            bits = _np.uint64(1) << (serials & 63).astype(_np.uint64)
+            down[serials, serials >> 6] = bits
+            up[serials, serials >> 6] = bits
+        if topo is not None:
+            for serial in reversed(topo):
+                targets = out_serials[serial]
+                if targets:
+                    down[serial] |= _np.bitwise_or.reduce(down[targets],
+                                                          axis=0)
+            for serial in topo:
+                sources = in_serials[serial]
+                if sources:
+                    up[serial] |= _np.bitwise_or.reduce(up[sources], axis=0)
+        else:  # pragma: no cover - cycles only arise in hand-built graphs
+            for table, edges in ((down, out_serials), (up, in_serials)):
+                changed = True
+                while changed:
+                    changed = False
+                    for serial in range(count):
+                        acc = table[serial].copy()
+                        for neighbor in edges[serial]:
+                            acc |= table[neighbor]
+                        if not _np.array_equal(acc, table[serial]):
+                            table[serial] = acc
+                            changed = True
+        self._n = count
+        self._cap_words = words
+        self._down = down
+        self._up = up
+        self._note_width()
+
+
+class PackedArrayBitsetBackend:
+    """The packed-row layout on ``array('Q')``, word-at-a-time in Python.
+
+    Slower than ``pyint`` (Python-level word loops versus C big-int
+    loops); it exists so the packed layout has a stdlib-only incarnation
+    and the numpy-absent CI cell still exercises the packed code paths.
+    """
+
+    name = "packed-array"
+
+    def __init__(self) -> None:
+        self._down: List[array] = []
+        self._up: List[array] = []
+        self._words = 0
+        self.peak_words = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    def size(self) -> int:
+        return len(self._down)
+
+    def words(self) -> int:
+        return (len(self._down) + 63) >> 6
+
+    def _note_width(self) -> None:
+        width = (len(self._down) + 63) >> 6
+        if width > self.peak_words:
+            self.peak_words = width
+
+    def clear(self) -> None:
+        self._down = []
+        self._up = []
+        self._words = 0
+
+    def _zero_row(self) -> array:
+        return array("Q", bytes(8 * self._words))
+
+    def append_singleton(self) -> None:
+        serial = len(self._down)
+        need = (serial >> 6) + 1
+        if need > self._words:
+            pad = [0] * (need - self._words)
+            for row in self._down:
+                row.extend(pad)
+            for row in self._up:
+                row.extend(pad)
+            self._words = need
+        down_row = self._zero_row()
+        down_row[serial >> 6] = 1 << (serial & 63)
+        self._down.append(down_row)
+        self._up.append(array("Q", down_row))
+        self._note_width()
+
+    # -- queries -----------------------------------------------------------
+
+    def has(self, src: int, dst: int) -> bool:
+        return bool(self._down[src][dst >> 6] >> (dst & 63) & 1)
+
+    def descendants(self, serial: int) -> List[int]:
+        return [s for s in _array_bits(self._down[serial]) if s != serial]
+
+    def ancestors(self, serial: int) -> List[int]:
+        return [s for s in _array_bits(self._up[serial]) if s != serial]
+
+    # -- mutations ---------------------------------------------------------
+
+    def connect(self, src: int, dst: int) -> None:
+        down = self._down
+        up = self._up
+        descendants = _array_bits(down[dst])
+        for ancestor in _array_bits(up[src]):
+            _or_into(down[ancestor], down[dst])
+        for descendant in descendants:
+            _or_into(up[descendant], up[src])
+
+    def discard(self, serial: int, max_cone: int) -> Optional[int]:
+        ancestors = [a for a in _array_bits(self._up[serial]) if a != serial]
+        descendants = [d for d in _array_bits(self._down[serial])
+                       if d != serial]
+        cone = len(ancestors) + len(descendants)
+        if cone > max_cone:
+            return None
+        word = serial >> 6
+        keep = _WORD_MASK ^ (1 << (serial & 63))
+        for ancestor in ancestors:
+            self._down[ancestor][word] &= keep
+        for descendant in descendants:
+            self._up[descendant][word] &= keep
+        self._down[serial] = self._zero_row()
+        self._up[serial] = self._zero_row()
+        return cone
+
+    def zero_node(self, serial: int) -> None:
+        self._down[serial] = self._zero_row()
+        self._up[serial] = self._zero_row()
+
+    def rebuild(self, count: int, topo: Optional[List[int]],
+                out_serials: List[List[int]],
+                in_serials: List[List[int]]) -> None:
+        self._words = (count + 63) >> 6
+        down: List[array] = []
+        up: List[array] = []
+        for serial in range(count):
+            row = self._zero_row()
+            row[serial >> 6] = 1 << (serial & 63)
+            down.append(row)
+            up.append(array("Q", row))
+        if topo is not None:
+            for serial in reversed(topo):
+                row = down[serial]
+                for target in out_serials[serial]:
+                    _or_into(row, down[target])
+            for serial in topo:
+                row = up[serial]
+                for source in in_serials[serial]:
+                    _or_into(row, up[source])
+        else:  # pragma: no cover - cycles only arise in hand-built graphs
+            for table, edges in ((down, out_serials), (up, in_serials)):
+                changed = True
+                while changed:
+                    changed = False
+                    for serial in range(count):
+                        acc = array("Q", table[serial])
+                        for neighbor in edges[serial]:
+                            _or_into(acc, table[neighbor])
+                        if acc != table[serial]:
+                            table[serial] = acc
+                            changed = True
+        self._down = down
+        self._up = up
+        self._note_width()
+
+
+def _int_bits(value: int) -> List[int]:
+    """Set-bit positions of a Python-int row, ascending."""
+    out: List[int] = []
+    while value:
+        low = value & -value
+        out.append(low.bit_length() - 1)
+        value ^= low
+    return out
+
+
+def _array_bits(row: array) -> List[int]:
+    """Set-bit positions of an ``array('Q')`` row, ascending."""
+    out: List[int] = []
+    for word_index, word in enumerate(row):
+        base = word_index << 6
+        while word:
+            low = word & -word
+            out.append(base + low.bit_length() - 1)
+            word ^= low
+    return out
+
+
+def _or_into(target: array, source: array) -> None:
+    """``target |= source`` word-wise (equal widths by construction)."""
+    for index in range(len(source)):
+        target[index] |= source[index]

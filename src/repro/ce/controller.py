@@ -98,6 +98,12 @@ class CCStats:
     repair_fallbacks: int = 0  # detaches that invalidated instead of repairing
     nodes_pruned: int = 0      # committed nodes evicted from the graph
     prune_passes: int = 0      # prune_committed() invocations
+    index_backend: str = ""    # closure-bitset backend tag (repro.ce.bitset)
+    bitset_words: int = 0      # peak closure row width, in 64-bit words
+
+    #: Fields that are identity/high-water marks, not counters: a
+    #: boundary delta carries the current value instead of a difference.
+    _NON_COUNTERS = ("index_backend", "bitset_words")
 
     def snapshot(self) -> "CCStats":
         """A frozen copy of the counters as they stand right now.
@@ -111,9 +117,13 @@ class CCStats:
 
     def delta(self, since: "CCStats") -> "CCStats":
         """Counter-wise difference ``self - since``: the activity between
-        the ``since`` snapshot and this one."""
-        return CCStats(**{name: getattr(self, name) - getattr(since, name)
-                          for name in vars(self)})
+        the ``since`` snapshot and this one.  Non-counter fields (the
+        backend tag, the peak row width) keep their current value."""
+        fields = {name: getattr(self, name) - getattr(since, name)
+                  for name in vars(self) if name not in self._NON_COUNTERS}
+        for name in self._NON_COUNTERS:
+            fields[name] = getattr(self, name)
+        return CCStats(**fields)
 
 
 @dataclass
@@ -142,8 +152,9 @@ class ConcurrencyController:
                  default: Any = 0,
                  on_abort: Optional[Callable[[int], None]] = None,
                  on_commit: Optional[Callable[[CommittedTx], None]] = None,
-                 check_invariants: bool = False) -> None:
-        self.graph = DependencyGraph()
+                 check_invariants: bool = False,
+                 index_backend: str = "pyint") -> None:
+        self.graph = DependencyGraph(index_backend=index_backend)
         self._base_state = base_state
         self._default = default
         self._on_abort = on_abort
@@ -165,6 +176,8 @@ class ConcurrencyController:
         self._stats.repair_frontier_nodes = self.graph.repair_frontier_nodes
         self._stats.repair_fallbacks = self.graph.repair_fallbacks
         self._stats.nodes_pruned = self.graph.nodes_pruned
+        self._stats.index_backend = self.graph.index_backend
+        self._stats.bitset_words = self.graph.peak_bitset_words
         return self._stats
 
     # ------------------------------------------------------------------ API

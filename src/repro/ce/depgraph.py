@@ -25,8 +25,13 @@ the graph.  A DFS per query makes a contended batch of n transactions cost
 O(n^3); instead the graph maintains a transitive-closure index:
 
 * every currently-indexed node gets a small integer *serial* (per build
-  generation) and two Python-int bitsets — ``down`` (descendants, self
-  included) and ``up`` (ancestors, self included);
+  generation) and two bitset rows — ``down`` (descendants, self
+  included) and ``up`` (ancestors, self included).  Row *storage* is
+  pluggable (see :mod:`repro.ce.bitset`): the default keeps each row as
+  one Python int, while the packed backends store uint64 words (numpy
+  arrays or ``array('Q')``) so cone unions, repair clears, and rebuild
+  unions become row-wise vector ops.  Select via
+  ``DependencyGraph(index_backend=...)`` / ``CEConfig.index_backend``;
 * ``add_edge(u, v)`` updates the closure with Italiano-style propagation:
   if ``v`` is not already a descendant of ``u``, OR ``down[v]`` into every
   ancestor of ``u`` and ``up[u]`` into every descendant of ``v`` —
@@ -111,7 +116,9 @@ controller keeps its bitset width plateaued over an unbounded stream.
 Determinism note: all collections that the controller iterates are dicts
 used as ordered sets, so runs are reproducible (plain ``set`` of objects
 would iterate in address order).  Index serials follow dict insertion
-order and bitsets are plain ints, so the index is deterministic too.
+order and every bitset backend enumerates set bits in ascending serial
+order, so the index — and the bridge planning built on it — is
+deterministic and backend-independent too.
 """
 
 from __future__ import annotations
@@ -121,6 +128,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.ce.bitset import make_backend
 from repro.errors import SerializationError
 
 #: Sentinel for "no value recorded yet".
@@ -241,7 +249,7 @@ class DependencyGraph:
     """Stores nodes, typed edges, per-key access indexes, and an incremental
     transitive-closure index answering ``has_path`` in O(1)."""
 
-    def __init__(self) -> None:
+    def __init__(self, index_backend: str = "pyint") -> None:
         #: Current attempt per transaction id.
         self.nodes: Dict[int, TxNode] = {}
         #: key -> writer nodes in first-write order (dict-as-ordered-set).
@@ -257,12 +265,19 @@ class DependencyGraph:
         #: Invalidation generation; bumped only when a mutation cannot be
         #: absorbed in place (repair fallback, ownership steal).
         self._gen = 0
-        #: Generation the bitsets below were built for; ``!= _gen`` means
-        #: the index is stale and the next query rebuilds it.
+        #: Generation the backend's bitsets were built for; ``!= _gen``
+        #: means the index is stale and the next query rebuilds it.
         self._built_gen = -1
-        #: serial -> descendant / ancestor bitsets (self bit included).
-        self._down: List[int] = []
-        self._up: List[int] = []
+        #: Closure-row storage (see :mod:`repro.ce.bitset`): holds one
+        #: down and one up row per serial; this class owns the serial
+        #: space, staleness protocol, and decision rules, the backend
+        #: only stores and combines rows.
+        self._backend = (make_backend(index_backend)
+                         if isinstance(index_backend, str) else index_backend)
+        #: When True (default), ``detach_node`` plans its bridge edges
+        #: from the pre-removal closure snapshot; False forces the
+        #: reference per-predecessor DFS (kept for equivalence tests).
+        self.bridge_via_index = True
         #: Hole slots in ``_indexed`` (detached/evicted serials awaiting
         #: compaction); invariant 4's fallback trigger compares it to the
         #: live serial count.
@@ -281,6 +296,21 @@ class DependencyGraph:
         self.repair_frontier_nodes = 0
         self.repair_fallbacks = 0
         self.nodes_pruned = 0
+        #: Detach bridging: pairs answered from the pre-removal closure
+        #: snapshot (``bridge_plans``) versus detaches where the planner
+        #: declined and the reference DFS ran (``bridge_fallbacks``).
+        self.bridge_plans = 0
+        self.bridge_fallbacks = 0
+
+    @property
+    def index_backend(self) -> str:
+        """The closure-bitset backend tag serving this graph's index."""
+        return self._backend.name
+
+    @property
+    def peak_bitset_words(self) -> int:
+        """High-water closure row width, in 64-bit words."""
+        return self._backend.peak_words
 
     # -- node lifecycle ------------------------------------------------------
 
@@ -315,9 +345,13 @@ class DependencyGraph:
         node's bit from its ancestor/descendant cone) instead of
         invalidating the whole index, falling back to the generation-bump
         lazy rebuild only per the decision rule documented there.  The
-        bridge decisions below run on a DFS over the post-removal
-        adjacency either way (the repaired index describes the *final*
-        graph, bridges included, so it cannot drive its own bridging).
+        bridge decisions are planned *before* any mutation from the
+        pre-removal closure snapshot (:meth:`_bridge_plan_from_index`);
+        only when the index cannot answer (stale, shared ownership,
+        hand-built cycles) does each predecessor pay the reference DFS
+        over the post-removal adjacency.  Both planners produce the same
+        bridge edges in the same order, so schedules are identical (see
+        the regression test in ``tests/ce/test_bitset_backends.py``).
 
         Returns the former out-neighbours (the controller re-checks their
         commit eligibility).  Read-from back-references are cleaned so the
@@ -335,6 +369,17 @@ class DependencyGraph:
                         if p.status is not NodeStatus.ABORTED]
         successors = [s for s in former_out
                       if s.status is not NodeStatus.ABORTED]
+        plan: Optional[List[Tuple[TxNode, TxNode]]] = None
+        if self.bridge_via_index and predecessors and successors:
+            # Plan the bridges from the closure while it still carries
+            # this node's contribution; no row copies are needed because
+            # nothing has been mutated yet.
+            plan = self._bridge_plan_from_index(node, predecessors,
+                                                successors)
+            if plan is not None:
+                self.bridge_plans += 1
+            else:
+                self.bridge_fallbacks += 1
         for neighbor in former_out:
             neighbor.in_edges.pop(node, None)
         for neighbor in list(node.in_edges):
@@ -346,6 +391,10 @@ class DependencyGraph:
             # An edge-less node was never indexed and skips this, so
             # aborts of conflict-free transactions cost nothing.
             self._index_detach(node, owner)
+        if plan is not None:
+            for predecessor, successor in plan:
+                self.add_edge(predecessor, successor, "", EdgeKind.BRIDGE)
+            return former_out
         for predecessor in predecessors:
             if not successors:
                 break
@@ -361,6 +410,151 @@ class DependencyGraph:
                 reached[successor] = None
                 self._collect_descendants(reached, successor)
         return former_out
+
+    def _bridge_plan_from_index(
+            self, node: TxNode, predecessors: List[TxNode],
+            successors: List[TxNode]
+    ) -> Optional[List[Tuple[TxNode, TxNode]]]:
+        """The (predecessor, successor) pairs ``detach_node`` must bridge,
+        answered from the pre-removal closure instead of per-predecessor
+        DFS.  Returns ``None`` when the index cannot answer exactly (then
+        the caller runs the reference DFS).
+
+        Correctness sketch (DAG case; the guards below fall back on
+        anything else).  Let ``v`` be the departing node and ``D`` its
+        descendant cone (``down[v]`` minus ``v``).
+
+        * Outside ``D``, "reachable while avoiding ``v``" equals plain
+          closure reachability: any path through ``v`` ends inside ``D``.
+        * Inside ``D``, a topological sweep computes ``avoid[x]`` — the
+          set of predecessors reaching ``x`` without ``v`` — seeding each
+          member from its in-neighbours outside ``D`` (closure answers)
+          and propagating along in-cone edges (out-edges of a ``D``
+          member stay in ``D`` by transitivity).
+        * No successor can reach a predecessor (that path plus the
+          detached edges would be a cycle through ``v``), so any
+          predecessor-to-successor path in the evolving bridged graph
+          uses at most one bridge edge.  A pair ``(p, s)`` is therefore
+          already ordered iff ``avoid[s]`` contains ``p`` or some
+          earlier-added bridge ``(p', s')`` has ``p -> p'`` and
+          ``s' -> s`` in the closure — exactly what the reference DFS
+          over the evolving adjacency tests, so the emitted pairs (and
+          their order) are identical.
+        """
+        if self._built_gen != self._gen:
+            return None
+        indexed = self._indexed
+        backend = self._backend
+
+        def live_serial(candidate: TxNode) -> Optional[int]:
+            serial = candidate._index_serial
+            if (candidate._index_owner is not self or serial is None
+                    or serial >= len(indexed)
+                    or indexed[serial] is not candidate):
+                return None
+            return serial
+
+        victim_serial = live_serial(node)
+        if victim_serial is None:
+            return None
+        pred_serials: List[int] = []
+        for predecessor in predecessors:
+            serial = live_serial(predecessor)
+            if serial is None or backend.has(victim_serial, serial):
+                # Unindexed/foreign predecessor — or (hand-built cycles
+                # only) a predecessor inside the descendant cone, which
+                # breaks the one-bridge-per-path argument.
+                return None
+            pred_serials.append(serial)
+        succ_serials: List[int] = []
+        for successor in successors:
+            serial = live_serial(successor)
+            if serial is None:
+                return None
+            succ_serials.append(serial)
+        cone_serials = backend.descendants(victim_serial)
+        position: Dict[int, int] = {}
+        cone_nodes: List[TxNode] = []
+        for serial in cone_serials:
+            member = indexed[serial] if serial < len(indexed) else None
+            if member is None or live_serial(member) != serial:
+                return None
+            position[serial] = len(cone_nodes)
+            cone_nodes.append(member)
+        # avoid[i]: bitset over predecessor positions that reach cone
+        # member i with the victim removed.
+        avoid = [0] * len(cone_nodes)
+        indegree = [0] * len(cone_nodes)
+        for cone_index, member in enumerate(cone_nodes):
+            boundary = 0
+            for source in member.in_edges:
+                if source is node:
+                    continue
+                serial = live_serial(source)
+                if serial is None:
+                    return None
+                if serial in position:
+                    indegree[cone_index] += 1
+                else:
+                    for bit, pred_serial in enumerate(pred_serials):
+                        if pred_serial == serial \
+                                or backend.has(pred_serial, serial):
+                            boundary |= 1 << bit
+            avoid[cone_index] = boundary
+        ready = [index for index in range(len(cone_nodes))
+                 if indegree[index] == 0]
+        processed = 0
+        while ready:
+            cone_index = ready.pop()
+            processed += 1
+            bits = avoid[cone_index]
+            for target in cone_nodes[cone_index].out_edges:
+                serial = live_serial(target)
+                if serial is None:
+                    return None
+                target_index = position.get(serial)
+                if target_index is None:
+                    return None  # closure/adjacency mismatch; play safe
+                avoid[target_index] |= bits
+                indegree[target_index] -= 1
+                if indegree[target_index] == 0:
+                    ready.append(target_index)
+        if processed != len(cone_nodes):
+            return None  # a hand-built cycle inside the cone
+        # cover[j]: successor positions ordered once a bridge lands on
+        # successor j (its closure descendants among the successors).
+        cover = []
+        for index, serial in enumerate(succ_serials):
+            bits = 1 << index
+            for other_index, other in enumerate(succ_serials):
+                if other_index != index and backend.has(serial, other):
+                    bits |= 1 << other_index
+            cover.append(bits)
+        avoid_succ = []
+        for serial in succ_serials:
+            succ_position = position.get(serial)
+            if succ_position is None:
+                return None
+            avoid_succ.append(avoid[succ_position])
+        plan: List[Tuple[TxNode, TxNode]] = []
+        bridged: List[Tuple[int, int]] = []  # (pred serial, cover bits)
+        for pred_index, predecessor in enumerate(predecessors):
+            pred_serial = pred_serials[pred_index]
+            covered = 0
+            for succ_index in range(len(successors)):
+                if avoid_succ[succ_index] >> pred_index & 1:
+                    covered |= 1 << succ_index
+            for earlier_serial, earlier_cover in bridged:
+                if covered | earlier_cover != covered \
+                        and backend.has(pred_serial, earlier_serial):
+                    covered |= earlier_cover
+            for succ_index, successor in enumerate(successors):
+                if covered >> succ_index & 1:
+                    continue
+                plan.append((predecessor, successor))
+                bridged.append((pred_serial, cover[succ_index]))
+                covered |= cover[succ_index]
+        return plan
 
     def _index_detach(self, node: TxNode, owner: "DependencyGraph") -> None:
         """Absorb an indexed node's departure into the closure, in place
@@ -415,29 +609,15 @@ class DependencyGraph:
             self._index_reset_empty()
             self.index_repairs += 1
             return
-        mask = 1 << serial
-        ancestors = self._up[serial] & ~mask
-        descendants = self._down[serial] & ~mask
-        cone = ancestors.bit_count() + descendants.bit_count()
-        if cone > self.repair_max_cone \
-                or 2 * self._index_holes > len(self._indexed):
+        if 2 * self._index_holes > len(self._indexed):
             self.repair_fallbacks += 1
             self._gen += 1
             return
-        down = self._down
-        up = self._up
-        remaining = ancestors
-        while remaining:
-            low = remaining & -remaining
-            down[low.bit_length() - 1] &= ~mask
-            remaining ^= low
-        remaining = descendants
-        while remaining:
-            low = remaining & -remaining
-            up[low.bit_length() - 1] &= ~mask
-            remaining ^= low
-        down[serial] = 0
-        up[serial] = 0
+        cone = self._backend.discard(serial, self.repair_max_cone)
+        if cone is None:
+            self.repair_fallbacks += 1
+            self._gen += 1
+            return
         self.index_repairs += 1
         self.repair_frontier_nodes += cone
 
@@ -560,8 +740,7 @@ class DependencyGraph:
                     self._indexed[serial] = None
                     self._index_holes += 1
                     if valid:
-                        self._down[serial] = 0
-                        self._up[serial] = 0
+                        self._backend.zero_node(serial)
                 node._index_serial = None
                 node._index_owner = None
         if valid:
@@ -590,8 +769,7 @@ class DependencyGraph:
         """Drop a fully-holed serial space: an empty index is trivially
         exact, so ``_built_gen`` stays current and no rebuild is owed."""
         self._indexed.clear()
-        self._down.clear()
-        self._up.clear()
+        self._backend.clear()
         self._index_holes = 0
 
     @staticmethod
@@ -665,7 +843,7 @@ class DependencyGraph:
             return self._has_path_dfs(src, dst)
         if self._built_gen != self._gen:
             self._rebuild_index()
-        return bool(self._down[src._index_serial] >> dst._index_serial & 1)
+        return self._backend.has(src._index_serial, dst._index_serial)
 
     def _has_path_dfs(self, src: TxNode, dst: TxNode) -> bool:
         """Reference DFS reachability (the seed implementation); kept for
@@ -702,9 +880,7 @@ class DependencyGraph:
             if stolen:
                 self._gen += 1  # force a rebuild; singleton sets would lie
             elif self._built_gen == self._gen:
-                bit = 1 << serial
-                self._down.append(bit)
-                self._up.append(bit)
+                self._backend.append_singleton()
             return serial
         return node._index_serial
 
@@ -714,22 +890,10 @@ class DependencyGraph:
         dst_serial = self._ensure_serial(dst)
         if self._built_gen != self._gen:
             return  # stale: the next query rebuilds from adjacency anyway
-        down = self._down
-        up = self._up
-        if down[src_serial] >> dst_serial & 1:
+        backend = self._backend
+        if backend.has(src_serial, dst_serial):
             return  # already ordered; closure unchanged
-        ancestors = up[src_serial]
-        descendants = down[dst_serial]
-        remaining = ancestors
-        while remaining:
-            low = remaining & -remaining
-            down[low.bit_length() - 1] |= descendants
-            remaining ^= low
-        remaining = descendants
-        while remaining:
-            low = remaining & -remaining
-            up[low.bit_length() - 1] |= ancestors
-            remaining ^= low
+        backend.connect(src_serial, dst_serial)
 
     def _rebuild_index(self) -> None:
         """Recompute closure bitsets from the live adjacency.
@@ -765,48 +929,30 @@ class DependencyGraph:
         self._indexed = nodes
         self._index_holes = 0
         count = len(nodes)
-        down = [0] * count
-        up = [0] * count
+        # Adjacency as serial lists (edge-insertion order preserved, so
+        # union order — and therefore every backend's result — is
+        # deterministic), plus a Kahn topological order.
+        out_serials: List[List[int]] = []
+        in_serials: List[List[int]] = []
         indegree = [0] * count
-        for serial, node in enumerate(nodes):
-            down[serial] = up[serial] = 1 << serial
-            for neighbor in node.out_edges:
-                indegree[neighbor._index_serial] += 1
+        for node in nodes:
+            targets = [neighbor._index_serial for neighbor in node.out_edges]
+            out_serials.append(targets)
+            in_serials.append(
+                [neighbor._index_serial for neighbor in node.in_edges])
+            for target in targets:
+                indegree[target] += 1
         ready = [serial for serial in range(count) if indegree[serial] == 0]
         topo: List[int] = []
         while ready:
             serial = ready.pop()
             topo.append(serial)
-            for neighbor in nodes[serial].out_edges:
-                neighbor_serial = neighbor._index_serial
-                indegree[neighbor_serial] -= 1
-                if indegree[neighbor_serial] == 0:
-                    ready.append(neighbor_serial)
-        if len(topo) == count:
-            for serial in reversed(topo):
-                acc = down[serial]
-                for neighbor in nodes[serial].out_edges:
-                    acc |= down[neighbor._index_serial]
-                down[serial] = acc
-            for serial in topo:
-                acc = up[serial]
-                for neighbor in nodes[serial].in_edges:
-                    acc |= up[neighbor._index_serial]
-                up[serial] = acc
-        else:  # pragma: no cover - cycles only arise in hand-built graphs
-            for sets, edges in ((down, "out_edges"), (up, "in_edges")):
-                changed = True
-                while changed:
-                    changed = False
-                    for serial in range(count):
-                        acc = sets[serial]
-                        for neighbor in getattr(nodes[serial], edges):
-                            acc |= sets[neighbor._index_serial]
-                        if acc != sets[serial]:
-                            sets[serial] = acc
-                            changed = True
-        self._down = down
-        self._up = up
+            for target in out_serials[serial]:
+                indegree[target] -= 1
+                if indegree[target] == 0:
+                    ready.append(target)
+        self._backend.rebuild(count, topo if len(topo) == count else None,
+                              out_serials, in_serials)
         self._built_gen = self._gen
 
     # -- whole-graph queries ---------------------------------------------------

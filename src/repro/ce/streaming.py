@@ -238,9 +238,10 @@ class StreamSession:
         #: tx id -> its batch, for commit/abort routing; ids leave the map
         #: at the batch's boundary, so it stays one-to-two batches wide.
         self._routes: Dict[int, _BatchState] = {}
-        self.cc = ConcurrencyController(base_state, default=default,
-                                        on_abort=self._on_abort,
-                                        on_commit=self._on_commit)
+        self.cc = ConcurrencyController(
+            base_state, default=default, on_abort=self._on_abort,
+            on_commit=self._on_commit,
+            index_backend=runner.config.index_backend)
         runner.last_cc = self.cc
         self._cc_gate = Resource(env, capacity=1)
         #: Worker process handles; exposed so teardown tests can assert

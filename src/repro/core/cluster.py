@@ -69,6 +69,13 @@ class ClusterResult:
     cc_nodes_pruned: int
     cc_prune_passes: int
     ce_peak_graph_nodes: int
+    #: Which closure-bitset backend served the reachability index
+    #: (``CEConfig.index_backend`` resolved by ``repro.ce.bitset``; ""
+    #: for baseline engines that never ran a CE controller) and the peak
+    #: closure row width, in 64-bit words, it reached — so scenario and
+    #: bench records say which backend produced their numbers.
+    cc_index_backend: str
+    cc_bitset_words: int
     #: Scheduler events the run consumed — the per-round setup overhead
     #: (worker spawn/teardown churn) shows up here, so engine comparisons
     #: at identical committed schedules can quantify it deterministically.
@@ -243,6 +250,8 @@ class Cluster:
             cc_nodes_pruned=metrics.cc_nodes_pruned,
             cc_prune_passes=metrics.cc_prune_passes,
             ce_peak_graph_nodes=metrics.ce_peak_graph_nodes,
+            cc_index_backend=metrics.cc_index_backend,
+            cc_bitset_words=metrics.cc_bitset_words,
             events_processed=self.env.events_processed,
             metrics=metrics,
         )

@@ -54,6 +54,11 @@ class MetricsCollector:
         self.cc_nodes_pruned = 0
         self.cc_prune_passes = 0
         self.ce_peak_graph_nodes = 0
+        #: Closure-bitset backend tag the CE controllers ran on ("" until
+        #: the first preplayed batch reports) and the peak closure row
+        #: width, in 64-bit words, across all controllers.
+        self.cc_index_backend = ""
+        self.cc_bitset_words = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -98,6 +103,10 @@ class MetricsCollector:
         self.cc_repair_fallbacks += stats.repair_fallbacks
         self.cc_nodes_pruned += stats.nodes_pruned
         self.cc_prune_passes += stats.prune_passes
+        if stats.index_backend:
+            self.cc_index_backend = stats.index_backend
+        if stats.bitset_words > self.cc_bitset_words:
+            self.cc_bitset_words = stats.bitset_words
         if graph_nodes > self.ce_peak_graph_nodes:
             self.ce_peak_graph_nodes = graph_nodes
 

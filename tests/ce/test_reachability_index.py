@@ -30,10 +30,17 @@ from repro.contracts.contract import ContractRegistry
 # --------------------------------------------------------------- index
 
 
-def random_dag_ops(rng, n_nodes, n_ops):
+@pytest.fixture(params=["pyint", "packed", "packed-array"])
+def backend(request):
+    """Every closure-bitset backend (repro.ce.bitset): index answers,
+    bridge plans, and counters must be identical across them."""
+    return request.param
+
+
+def random_dag_ops(rng, n_nodes, n_ops, backend="pyint"):
     """A reproducible op sequence: edge adds (low -> high serial, so the
     graph stays acyclic), detaches, and queries."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     nodes = [TxNode(tx_id=i, attempt=1) for i in range(n_nodes)]
     for node in nodes:
         graph.add_node(node)
@@ -57,9 +64,10 @@ def random_dag_ops(rng, n_nodes, n_ops):
 
 
 @pytest.mark.parametrize("seed", range(8))
-def test_index_matches_dfs_under_churn(seed):
+def test_index_matches_dfs_under_churn(seed, backend):
     rng = random.Random(seed)
-    graph, nodes, alive = random_dag_ops(rng, n_nodes=30, n_ops=300)
+    graph, nodes, alive = random_dag_ops(rng, n_nodes=30, n_ops=300,
+                                         backend=backend)
     # exhaustive final sweep over the survivors
     for a in alive:
         for b in alive:
@@ -67,10 +75,10 @@ def test_index_matches_dfs_under_churn(seed):
                 graph._has_path_dfs(nodes[a], nodes[b]), (seed, a, b)
 
 
-def test_index_exact_after_detach_bridge():
+def test_index_exact_after_detach_bridge(backend):
     """Bridges preserve the closure over survivors exactly: detaching the
     middle of a diamond keeps every surviving ordering and adds none."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     a, mid, b, side = (TxNode(tx_id=i, attempt=1) for i in range(4))
     for node in (a, mid, b, side):
         graph.add_node(node)
@@ -86,10 +94,10 @@ def test_index_exact_after_detach_bridge():
     assert not graph.has_path(b, a)
 
 
-def test_detach_skips_redundant_bridges():
+def test_detach_skips_redundant_bridges(backend):
     """No BRIDGE edge is added for a pair that stays ordered through
     surviving nodes."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     pred, mid, alt, succ = (TxNode(tx_id=i, attempt=1) for i in range(4))
     for node in (pred, mid, alt, succ):
         graph.add_node(node)
@@ -106,11 +114,12 @@ def test_detach_skips_redundant_bridges():
     assert bridge_labels == []
 
 
-def test_node_shared_across_two_graphs():
+def test_node_shared_across_two_graphs(backend):
     """Hand-built sharing: a second graph re-claiming a node must not
     crash or corrupt the first graph's answers (it falls back to DFS and
     heals at its next rebuild)."""
-    graph_a, graph_b = DependencyGraph(), DependencyGraph()
+    graph_a = DependencyGraph(index_backend=backend)
+    graph_b = DependencyGraph(index_backend=backend)
     n0, n1 = TxNode(tx_id=0, attempt=1), TxNode(tx_id=1, attempt=1)
     graph_a.add_edge(n0, n1, "k", EdgeKind.ANTI)
     assert graph_a.has_path(n0, n1)
@@ -137,10 +146,11 @@ def test_node_shared_across_two_graphs():
                 (a.tx_id, b.tx_id)
 
 
-def test_detach_through_non_owner_graph_invalidates_owner():
+def test_detach_through_non_owner_graph_invalidates_owner(backend):
     """Detaching a shared node via a graph that does not own its serial
     must still invalidate the owner's closure."""
-    graph_a, graph_b = DependencyGraph(), DependencyGraph()
+    graph_a = DependencyGraph(index_backend=backend)
+    graph_b = DependencyGraph(index_backend=backend)
     x, n, y = (TxNode(tx_id=i, attempt=1) for i in range(3))
     graph_a.add_edge(x, n, "k", EdgeKind.ANTI)
     graph_a.add_edge(n, y, "k", EdgeKind.ANTI)
@@ -153,10 +163,10 @@ def test_detach_through_non_owner_graph_invalidates_owner():
     assert graph_a.has_path(x, n) == graph_a._has_path_dfs(x, n)
 
 
-def test_edgeless_abort_costs_no_rebuild():
+def test_edgeless_abort_costs_no_rebuild(backend):
     """Detaching a node that never touched an edge must not invalidate
     the index."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     a, b, loner = (TxNode(tx_id=i, attempt=1) for i in range(3))
     for node in (a, b, loner):
         graph.add_node(node)
@@ -169,9 +179,9 @@ def test_edgeless_abort_costs_no_rebuild():
     assert graph.index_rebuilds == rebuilds
 
 
-def test_index_compacts_on_rebuild():
+def test_index_compacts_on_rebuild(backend):
     """Detached nodes' bit positions are dropped at the next rebuild."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     nodes = [TxNode(tx_id=i, attempt=1) for i in range(10)]
     for node in nodes:
         graph.add_node(node)
@@ -186,8 +196,8 @@ def test_index_compacts_on_rebuild():
     assert graph._indexed[nodes[0]._index_serial] is nodes[0]
 
 
-def test_stats_counters_exposed():
-    cc = ConcurrencyController({"k": 1})
+def test_stats_counters_exposed(backend):
+    cc = ConcurrencyController({"k": 1}, index_backend=backend)
     t1 = cc.begin(1)
     cc.write(t1, "k", 2)
     t2 = cc.begin(2)
@@ -276,7 +286,7 @@ def rmw_txs(n, records):
             for i in range(n)]
 
 
-def test_abort_storm_edges_bounded_and_acyclic():
+def test_abort_storm_edges_bounded_and_acyclic(backend):
     """A hot-key RMW storm with external aborts sprinkled in: the graph
     must stay acyclic and BRIDGE accumulation must stay linear in the
     batch size, not quadratic."""
@@ -284,7 +294,9 @@ def test_abort_storm_edges_bounded_and_acyclic():
     register_ycsb(registry)
     n = 120
     env = Environment()
-    runner = CERunner(registry, CEConfig(executors=16), make_rng(5))
+    runner = CERunner(registry,
+                      CEConfig(executors=16, index_backend=backend),
+                      make_rng(5))
     proc = runner.run_batch(env, rmw_txs(n, records=2), ycsb_state(2))
     env.run()
     assert proc.triggered
@@ -300,11 +312,11 @@ def test_abort_storm_edges_bounded_and_acyclic():
     assert len(order) == n
 
 
-def test_layered_abort_storm_no_bridge_blowup():
+def test_layered_abort_storm_no_bridge_blowup(backend):
     """Dense layered DAG: every (pred, succ) pair of a detached node stays
     ordered through its surviving layer-mates, so selective bridging adds
     ZERO edges where bridge-every-pair would add W^2 labels per detach."""
-    graph = DependencyGraph()
+    graph = DependencyGraph(index_backend=backend)
     width, depth = 8, 6
     layers = [[TxNode(tx_id=level * width + i, attempt=1)
                for i in range(width)] for level in range(depth)]
@@ -329,11 +341,12 @@ def test_layered_abort_storm_no_bridge_blowup():
     assert graph.has_path(layers[0][0], layers[-1][-1])
 
 
-def test_external_abort_storm_on_controller():
+def test_external_abort_storm_on_controller(backend):
     """Direct CC drive: abort a third of the transactions mid-flight."""
     rng = random.Random(17)
     cc = ConcurrencyController({f"k{i}": 0 for i in range(3)},
-                               check_invariants=True)
+                               check_invariants=True,
+                               index_backend=backend)
     live = []
     for tx_id in range(90):
         node = cc.begin(tx_id)

@@ -12,8 +12,8 @@ Two properties carry the feature:
 
 import pytest
 
-from repro.ce import (CEConfig, CERunner, ConcurrencyController, NodeStatus,
-                      StreamingRunner)
+from repro.ce import (CCStats, CEConfig, CERunner, ConcurrencyController,
+                      NodeStatus, StreamingRunner)
 from repro.contracts import default_registry, initial_state
 from repro.core.shards import ShardMap
 from repro.errors import SerializationError
@@ -519,9 +519,14 @@ def test_ccstats_snapshot_and_delta():
     assert (delta.commits, delta.reads, delta.writes) == (1, 1, 1)
     # The snapshot is frozen: later activity doesn't leak into it.
     assert mark.commits == 1 and mark.reads == 0
-    # Sanity: delta against itself is all zeros.
+    # Sanity: delta against itself zeroes every counter; the non-counter
+    # fields (backend tag, peak row width) carry their current values so
+    # per-batch records still say which backend ran.
     zero = cc.stats.delta(cc.stats.snapshot())
-    assert all(value == 0 for value in vars(zero).values())
+    assert all(value == 0 for name, value in vars(zero).items()
+               if name not in CCStats._NON_COUNTERS)
+    assert zero.index_backend == "pyint"
+    assert zero.bitset_words == cc.graph.peak_bitset_words
 
 
 def test_duplicate_ids_in_stream_window_rejected():
