@@ -17,6 +17,11 @@ every PR leaves a comparable performance fingerprint:
 * **streaming** — a short ``engine="ce-streaming"`` cluster run; its
   commit-log digest is asserted byte-identical across backends, tying
   the numbers to the parity guarantee.
+* **drain-overlap** — strict vs ``strict_order=False`` streaming over a
+  SmallBank theta sweep.  Both runs are pure DES, so the simulated-time
+  speedup is deterministic and machine-independent: it gates in
+  ``ratios``, and the overlap/oracle counters gate bit-for-bit in
+  ``exact``.
 
 Wall-clock figures (``ops_per_sec``, ``wall_ms``, the ``ratios_info``
 speedups of the DES-driven scenarios) are recorded for the curious but
@@ -44,12 +49,15 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from repro.ce import CEConfig, ConcurrencyController
+from repro.ce import CEConfig, ConcurrencyController, StreamingRunner
 from repro.ce.bitset import make_backend, numpy_version
+from repro.contracts import default_registry, initial_state
 from repro.core import ThunderboltConfig
 from repro.core.cluster import Cluster
+from repro.core.shards import ShardMap
 from repro.errors import TransactionAborted
-from repro.workloads import WorkloadConfig
+from repro.sim import Environment, make_rng
+from repro.workloads import SmallBankWorkload, WorkloadConfig
 
 SCHEMA = "bench-regression/v1"
 
@@ -57,10 +65,16 @@ SCHEMA = "bench-regression/v1"
 #: numpy-less host it aliases "packed-array" (the record says which).
 BACKENDS = ("pyint", "packed", "packed-array")
 
-#: (nodes, storm transactions, streaming duration) per scale.
+#: Contention sweep for the drain-overlap bench (Zipf theta).
+OVERLAP_THETAS = (0.5, 0.9, 0.99)
+
+#: (nodes, storm transactions, streaming duration, overlap-stream
+#: transactions) per scale.
 SCALES = {
-    "default": {"nodes": 1400, "storm_txs": 900, "stream_duration": 0.3},
-    "quick": {"nodes": 700, "storm_txs": 300, "stream_duration": 0.1},
+    "default": {"nodes": 1400, "storm_txs": 900, "stream_duration": 0.3,
+                "overlap_txs": 500},
+    "quick": {"nodes": 700, "storm_txs": 300, "stream_duration": 0.1,
+              "overlap_txs": 200},
 }
 
 
@@ -200,6 +214,58 @@ def streaming_run(backend_name: str, duration: float, seed: int = 3) -> Dict:
     }
 
 
+# ------------------------------------------------------------ drain overlap
+
+
+def drain_overlap(theta: float, n_txs: int, seed: int = 13) -> Dict:
+    """Strict vs overlapped drains on one SmallBank contention cell.
+
+    Both runs are pure DES over the same batches and seed, so the
+    simulated-elapsed ratio is deterministic: any host reproduces it
+    bit-for-bit, which makes it a gateable machine-independent speedup.
+    The run also asserts the relaxed mode's contract — same transactions
+    committed per batch, one oracle pass per boundary — so the recorded
+    numbers always describe a verified run."""
+    accounts, batch_size = 1024, 50
+    registry = default_registry()
+    workload = SmallBankWorkload(
+        WorkloadConfig(accounts=accounts, read_probability=0.5, theta=theta),
+        ShardMap(1), seed=seed)
+    batches = [workload.batch(batch_size)
+               for _ in range(max(2, n_txs // batch_size))]
+    outcomes = {}
+    wall = 0.0
+    for label, strict in (("strict", True), ("relaxed", False)):
+        env = Environment()
+        runner = StreamingRunner(
+            registry,
+            CEConfig(executors=8, strict_order=strict), make_rng(seed))
+        started = time.perf_counter()
+        proc = runner.run_stream(env, [list(batch) for batch in batches],
+                                 dict(initial_state(accounts)))
+        env.run()
+        wall += time.perf_counter() - started
+        outcomes[label] = proc.value
+    strict_run, relaxed_run = outcomes["strict"], outcomes["relaxed"]
+    for strict_batch, relaxed_batch in zip(strict_run.batches,
+                                           relaxed_run.batches):
+        assert sorted(strict_batch.order) == sorted(relaxed_batch.order), \
+            "relaxed drain changed a batch's committed transaction set"
+    assert relaxed_run.stats.oracle_checks == len(batches)
+    return {
+        "theta": theta,
+        "transactions": sum(len(batch) for batch in batches),
+        "strict_sim_elapsed_us": round(strict_run.elapsed * 1e6, 3),
+        "relaxed_sim_elapsed_us": round(relaxed_run.elapsed * 1e6, 3),
+        "overlap_released": relaxed_run.stats.overlap_released,
+        "overlap_parked": relaxed_run.stats.overlap_parked,
+        "oracle_checks": relaxed_run.stats.oracle_checks,
+        "sim_speedup": round(strict_run.elapsed / relaxed_run.elapsed, 4),
+        "wall_ms": round(wall * 1000, 2),
+        "_wall": wall,
+    }
+
+
 # ------------------------------------------------------------- orchestration
 
 
@@ -240,6 +306,17 @@ def run_all(scale: str) -> Dict:
             # curious under ratios_info.
             bucket = "ratios" if bench == "closure_churn" else "ratios_info"
             record[bucket][f"{bench}.speedup_{name}"] = round(ratio, 3)
+    overlap = {theta: drain_overlap(theta, sizes["overlap_txs"])
+               for theta in OVERLAP_THETAS}
+    record["benches"]["drain_overlap"] = {
+        str(theta): {key: value for key, value in overlap[theta].items()
+                     if not key.startswith("_")}
+        for theta in OVERLAP_THETAS
+    }
+    for theta in OVERLAP_THETAS:
+        # Simulated time, not wall clock: deterministic, so gateable.
+        record["ratios"][f"drain_overlap.sim_speedup_t{theta}"] = \
+            overlap[theta]["sim_speedup"]
     # Deterministic values: identical on any host at the same scale.
     record["exact"] = {
         "storm_aborts": storm["pyint"]["aborts"],
@@ -251,6 +328,11 @@ def run_all(scale: str) -> Dict:
         "churn_repair_cone_nodes": churn["pyint"]["repair_cone_nodes"],
         "churn_peak_words": churn["pyint"]["peak_words"],
     }
+    for theta in OVERLAP_THETAS:
+        record["exact"][f"overlap_released_t{theta}"] = \
+            overlap[theta]["overlap_released"]
+        record["exact"][f"overlap_oracle_checks_t{theta}"] = \
+            overlap[theta]["oracle_checks"]
     return record
 
 

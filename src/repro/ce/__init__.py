@@ -18,8 +18,8 @@ from repro.ce.depgraph import (DependencyGraph, EdgeKind, KeyRecord,
                                NodeStatus, TxNode)
 from repro.ce.runner import BatchResult, CEConfig, CERunner
 from repro.ce.streaming import StreamingRunner, StreamResult, StreamSession
-from repro.ce.validation import (ValidationOutcome, build_validation_levels,
-                                 validate_block)
+from repro.ce.validation import (SerializabilityOracle, ValidationOutcome,
+                                 build_validation_levels, validate_block)
 
 __all__ = [
     "BatchResult",
@@ -32,6 +32,7 @@ __all__ = [
     "EdgeKind",
     "KeyRecord",
     "NodeStatus",
+    "SerializabilityOracle",
     "StreamResult",
     "StreamSession",
     "StreamingRunner",

@@ -98,6 +98,9 @@ class CCStats:
     repair_fallbacks: int = 0  # detaches that invalidated instead of repairing
     nodes_pruned: int = 0      # committed nodes evicted from the graph
     prune_passes: int = 0      # prune_committed() invocations
+    overlap_released: int = 0  # ops released early into an in-flight drain
+    overlap_parked: int = 0    # ops parked by the relaxed-mode frontier
+    oracle_checks: int = 0     # SerializabilityOracle passes run at commit
     index_backend: str = ""    # closure-bitset backend tag (repro.ce.bitset)
     bitset_words: int = 0      # peak closure row width, in 64-bit words
 
@@ -166,6 +169,16 @@ class ConcurrencyController:
         self._attempts: Dict[int, int] = {}
         self._finish_time = 0.0
         self._stats = CCStats()
+        #: Last committed writer per key (bounded by key count, like the
+        #: overlay).  Root reads record it at read time so the relaxed
+        #: streaming mode's SerializabilityOracle can attribute the read
+        #: to the version it actually observed.
+        self._root_writers: Dict[str, int] = {}
+        #: TEST-ONLY sabotage hook: skips rule R1 (readers-before-writer
+        #: anti-edges) so oracle-sensitivity tests can manufacture
+        #: genuinely non-serializable commits.  Never set in production
+        #: code paths.
+        self._unsafe_skip_r1 = False
 
     @property
     def stats(self) -> CCStats:
@@ -202,6 +215,11 @@ class ConcurrencyController:
         record = node.records.setdefault(key, KeyRecord())
         record.first_read = value
         record.read_from = source
+        if source is None:
+            # Root read: remember which committed writer produced the
+            # version observed, captured *at read time* (the overlay may
+            # move before this node commits).
+            record.root_version = self._root_writers.get(key)
         self.graph.register_reader(key, node)
         if source is not None:
             source.records[key].readers[node] = None
@@ -286,6 +304,20 @@ class ConcurrencyController:
                     f"({node.status.value}) in the graph")
         self._base_state = base_state
         self._overlay.clear()
+        # The new root may reflect writes this controller never saw, so
+        # last-writer attribution for future root reads starts over.
+        self._root_writers.clear()
+
+    def note_overlap(self, released: int = 0, parked: int = 0,
+                     checks: int = 0) -> None:
+        """Fold relaxed-drain accounting into the stats: operations
+        released early into an in-flight drain, operations parked by the
+        frontier check, and serializability-oracle passes run.  The
+        streaming session owns the policy; the controller owns the
+        counters so they flow through the one ``CCStats`` pipeline."""
+        self._stats.overlap_released += released
+        self._stats.overlap_parked += parked
+        self._stats.oracle_checks += checks
 
     def harvest_committed(self) -> List[CommittedTx]:
         """Return the committed entries accumulated since the last harvest
@@ -396,6 +428,8 @@ class ConcurrencyController:
 
     def _order_readers_before_writer(self, node: TxNode, key: str) -> None:
         """Anti-edges from every reader of ``key`` to the new writer (R1)."""
+        if self._unsafe_skip_r1:
+            return  # test-only sabotage, see __init__
         for reader in self.graph.readers_of(key):
             if node.status is NodeStatus.ABORTED:
                 raise TransactionAborted(node.tx_id, f"cascade during {key}")
@@ -479,6 +513,8 @@ class ConcurrencyController:
         self._stats.commits += 1
         write_set = node.write_set()
         self._overlay.update(write_set)
+        for written_key in write_set:
+            self._root_writers[written_key] = node.tx_id
         entry = CommittedTx(
             tx_id=node.tx_id,
             order_index=node.order_index,

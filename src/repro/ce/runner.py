@@ -65,6 +65,15 @@ class CEConfig:
     #: "packed-numpy"/"packed-array".  Committed schedules are identical
     #: across backends; only wall-clock cost differs.
     index_backend: str = "pyint"
+    #: Streaming drain discipline (:mod:`repro.ce.streaming`).  True — the
+    #: default — releases a batch's operations only at the previous
+    #: batch's quiescent boundary, preserving the byte-identical
+    #: equivalence with batch-at-a-time ``run_batch``.  False overlaps
+    #: drains: admitted operations whose footprint hints miss the
+    #: in-flight frontier are released immediately, and the bit-identity
+    #: guarantee is replaced by a commit-time serializability check
+    #: (:class:`repro.ce.validation.SerializabilityOracle`).
+    strict_order: bool = True
 
     def __post_init__(self) -> None:
         if self.executors < 1:

@@ -69,6 +69,13 @@ class ClusterResult:
     cc_nodes_pruned: int
     cc_prune_passes: int
     ce_peak_graph_nodes: int
+    #: Relaxed-drain accounting (``CEConfig.strict_order=False``):
+    #: operations released early into an in-flight drain, operations the
+    #: frontier conflict check parked, and serializability-oracle passes
+    #: run at batch boundaries.  All zero under strict ordering.
+    cc_overlap_released: int
+    cc_overlap_parked: int
+    cc_oracle_checks: int
     #: Which closure-bitset backend served the reachability index
     #: (``CEConfig.index_backend`` resolved by ``repro.ce.bitset``; ""
     #: for baseline engines that never ran a CE controller) and the peak
@@ -250,6 +257,9 @@ class Cluster:
             cc_nodes_pruned=metrics.cc_nodes_pruned,
             cc_prune_passes=metrics.cc_prune_passes,
             ce_peak_graph_nodes=metrics.ce_peak_graph_nodes,
+            cc_overlap_released=metrics.cc_overlap_released,
+            cc_overlap_parked=metrics.cc_overlap_parked,
+            cc_oracle_checks=metrics.cc_oracle_checks,
             cc_index_backend=metrics.cc_index_backend,
             cc_bitset_words=metrics.cc_bitset_words,
             events_processed=self.env.events_processed,

@@ -54,6 +54,12 @@ class MetricsCollector:
         self.cc_nodes_pruned = 0
         self.cc_prune_passes = 0
         self.ce_peak_graph_nodes = 0
+        # Relaxed-drain accounting (strict_order=False sessions): early
+        # releases into an in-flight drain, frontier-parked operations,
+        # and serializability-oracle passes.  All zero in strict mode.
+        self.cc_overlap_released = 0
+        self.cc_overlap_parked = 0
+        self.cc_oracle_checks = 0
         #: Closure-bitset backend tag the CE controllers ran on ("" until
         #: the first preplayed batch reports) and the peak closure row
         #: width, in 64-bit words, across all controllers.
@@ -103,6 +109,9 @@ class MetricsCollector:
         self.cc_repair_fallbacks += stats.repair_fallbacks
         self.cc_nodes_pruned += stats.nodes_pruned
         self.cc_prune_passes += stats.prune_passes
+        self.cc_overlap_released += stats.overlap_released
+        self.cc_overlap_parked += stats.overlap_parked
+        self.cc_oracle_checks += stats.oracle_checks
         if stats.index_backend:
             self.cc_index_backend = stats.index_backend
         if stats.bitset_words > self.cc_bitset_words:

@@ -18,7 +18,7 @@ seed is bit-identical down to its commit digests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
     Tuple
 
@@ -89,11 +89,16 @@ class Scenario:
     batch_size: int = 8
     duration: float = 0.25
     drain: float = 0.1
+    #: False runs ``engine="ce-streaming"`` sessions with overlapped
+    #: drains (``CEConfig.strict_order=False``) — byte-identity replaced
+    #: by the commit-time serializability oracle.
+    strict_order: bool = True
 
     @property
     def name(self) -> str:
+        suffix = "" if self.strict_order else "*relaxed"
         return (f"{self.adversary.name}*{self.engine}"
-                f"*{self.workload.name}*s{self.seed}")
+                f"*{self.workload.name}*s{self.seed}{suffix}")
 
 
 @dataclass
@@ -141,6 +146,9 @@ def run_scenario(scenario: Scenario) -> CellResult:
     config = ThunderboltConfig(
         n_replicas=scenario.n_replicas, batch_size=scenario.batch_size,
         engine=scenario.engine, seed=scenario.seed)
+    if not scenario.strict_order:
+        config = config.with_changes(
+            ce=replace(config.ce, strict_order=False))
     if scenario.adversary.config_overrides:
         config = config.with_changes(
             **dict(scenario.adversary.config_overrides))

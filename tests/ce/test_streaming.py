@@ -356,6 +356,26 @@ def test_session_base_view_requires_pruning():
     session.abort()
 
 
+def test_rebase_failure_detaches_session_and_resets_last_cc():
+    """A rebase that explodes at dispatch time (a record-holding node the
+    boundary prune could not evict) must not leave a half-dead session
+    behind: the session closes, ``runner.last_cc`` drops its pointer —
+    it resets at close/abort, and a failed rebase is the same death —
+    and the idle worker pool is shut down instead of parking forever."""
+    env, runner, session = make_session()
+    # A record-holding node the session does not know about, standing in
+    # for any bug that leaves the graph non-quiescent at a rebase.
+    stray = session.cc.begin(10_001)
+    session.cc.read(stray, "checking:0")
+    (batch,) = smallbank_batches(2, n_batches=1, batch_size=5)
+    with pytest.raises(SerializationError):
+        session.admit(batch, base_view=dict(initial_state(64)))
+    assert session.closed
+    assert runner.last_cc is None
+    env.run()
+    assert all(not worker.is_alive for worker in session.workers)
+
+
 def test_session_admit_is_atomic_on_duplicate_ids():
     """A rejected admit leaves no ghost routes or pre-begun nodes: the
     valid prefix of the bad batch can be re-admitted afterwards."""
