@@ -20,7 +20,9 @@ import pytest
 from benchmarks.conftest import run_system, scaled
 from repro.sim import LatencyModel
 
-REPLICAS = scaled([8, 16, 32, 64], [8, 16, 32, 64], [4, 8])
+# FULL pushes one point past the paper's largest (64-replica) deployment
+# to show the scaling trend continues.
+REPLICAS = scaled([8, 16, 32, 64, 96], [8, 16, 32, 64], [4, 8])
 SYSTEMS = [("Thunderbolt", "ce"), ("Thunderbolt-OCC", "occ"),
            ("Tusk", "serial")]
 

@@ -101,6 +101,7 @@ class CCStats:
     overlap_released: int = 0  # ops released early into an in-flight drain
     overlap_parked: int = 0    # ops parked by the relaxed-mode frontier
     oracle_checks: int = 0     # SerializabilityOracle passes run at commit
+    overlap_probe_released: int = 0  # releases cleared via key_contended probe
     index_backend: str = ""    # closure-bitset backend tag (repro.ce.bitset)
     bitset_words: int = 0      # peak closure row width, in 64-bit words
 
@@ -309,15 +310,37 @@ class ConcurrencyController:
         self._root_writers.clear()
 
     def note_overlap(self, released: int = 0, parked: int = 0,
-                     checks: int = 0) -> None:
+                     checks: int = 0, probe_released: int = 0) -> None:
         """Fold relaxed-drain accounting into the stats: operations
         released early into an in-flight drain, operations parked by the
-        frontier check, and serializability-oracle passes run.  The
-        streaming session owns the policy; the controller owns the
-        counters so they flow through the one ``CCStats`` pipeline."""
+        frontier check, serializability-oracle passes run, and releases
+        that needed the :meth:`key_contended` live-record probe to clear
+        a hint-less predecessor batch.  The streaming session owns the
+        policy; the controller owns the counters so they flow through the
+        one ``CCStats`` pipeline."""
         self._stats.overlap_released += released
         self._stats.overlap_parked += parked
         self._stats.oracle_checks += checks
+        self._stats.overlap_probe_released += probe_released
+
+    def key_contended(self, key: str) -> bool:
+        """True when any live node in the graph holds a record on ``key``.
+
+        The release-time query surface for hint-less contracts: the
+        frontier only tracks *hinted* footprints, so an opaque in-flight
+        batch is invisible to it — but every operation that batch has
+        actually issued lives in the dependency graph's per-key
+        writer/reader records, which the closure index keeps current
+        through aborts and pruning.  A key with neither live writers nor
+        live readers cannot conflict with anything in flight."""
+        return (bool(self.graph.writers_of(key))
+                or bool(self.graph.readers_of(key)))
+
+    def recent_writer_of(self, key: str) -> Optional[int]:
+        """tx_id of the last committed writer of ``key`` under the current
+        root, or ``None`` if no in-window commit wrote it (the version is
+        older than the root — rebase clears the attribution)."""
+        return self._root_writers.get(key)
 
     def harvest_committed(self) -> List[CommittedTx]:
         """Return the committed entries accumulated since the last harvest

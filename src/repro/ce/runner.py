@@ -74,6 +74,12 @@ class CEConfig:
     #: guarantee is replaced by a commit-time serializability check
     #: (:class:`repro.ce.validation.SerializabilityOracle`).
     strict_order: bool = True
+    #: Relaxed mode only: let hinted transactions clear an *opaque*
+    #: (hint-less) in-flight batch by probing the controller's live
+    #: per-key records (``key_contended``) instead of treating it as a
+    #: wholesale barrier.  Off by default — with it off, relaxed-mode
+    #: release decisions are exactly the PR 9 footprint-frontier rule.
+    frontier_probe: bool = False
 
     def __post_init__(self) -> None:
         if self.executors < 1:

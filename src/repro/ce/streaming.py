@@ -523,23 +523,36 @@ class StreamSession:
     def _overlap_release(self, batch: _BatchState) -> None:
         """The relaxed-drain admission rule: release every transaction
         whose footprint hint misses the in-flight frontier; park the
-        rest until dispatch.  Hint-less transactions, anything behind a
-        hint-less batch, and anything behind a pending rebase barrier
-        park wholesale — the conflict check has nothing sound to say
-        about them."""
+        rest until dispatch.  Hint-less transactions and anything behind
+        a pending rebase barrier park wholesale — the conflict check has
+        nothing sound to say about them.  A hint-less *predecessor* batch
+        also parks everything, unless ``CEConfig(frontier_probe=True)``:
+        then hinted transactions may still clear it by probing the
+        controller's live per-key records (``key_contended``) — the
+        opaque batch's issued operations are invisible to the hint
+        frontier but fully visible to the graph."""
         if batch.base_view is not None:
             # Barred at admission (see admit): nothing of a pending
             # rebase may touch the controller early.
             self.cc.note_overlap(parked=batch.total)
             return
-        if (self._barrier or self._opaque) and not self._unsafe_release_all:
+        if self._barrier and not self._unsafe_release_all:
             self.cc.note_overlap(parked=batch.total)
             return
-        released = parked = 0
+        probe = bool(self._opaque) and self._runner.config.frontier_probe
+        if self._opaque and not probe and not self._unsafe_release_all:
+            self.cc.note_overlap(parked=batch.total)
+            return
+        released = parked = probed = 0
         for tx in batch.transactions:
             hint = batch.hints.get(tx.tx_id)
             safe = hint is not None and not any(
                 key in self._frontier for key in hint)
+            if safe and probe:
+                # The frontier cleared the *hinted* in-flight work; the
+                # probe must additionally clear the opaque batch's live
+                # records before the release is sound.
+                safe = not any(self.cc.key_contended(key) for key in hint)
             if safe or self._unsafe_release_all:
                 if not batch.released:
                     batch.started_at = self.env.now
@@ -548,9 +561,12 @@ class StreamSession:
                 self._released_live += 1
                 self._queue.put((tx, batch, node))
                 released += 1
+                if probe:
+                    probed += 1
             else:
                 parked += 1
-        self.cc.note_overlap(released=released, parked=parked)
+        self.cc.note_overlap(released=released, parked=parked,
+                             probe_released=probed)
 
     def _extend_frontier(self, batch: _BatchState) -> None:
         """Refcount the batch's hinted keys into the frontier (released

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.contracts import smallbank
 from repro.contracts.contract import ContractRegistry
 from repro.core.config import ThunderboltConfig
+from repro.core.cross_shard import ShardLanePipeline
 from repro.core.replica import Replica
 from repro.core.shards import ShardMap
 from repro.crypto.keys import KeyPair, KeyRegistry
@@ -88,6 +89,21 @@ class ClusterResult:
     #: at identical committed schedules can quantify it deterministically.
     events_processed: int
     metrics: MetricsCollector
+    #: Shard-lane pipeline accounting (relaxed cross-shard path; all zero
+    #: in strict batch-synchronous mode).  Summed over replicas: lane
+    #: segments retired and their simulated occupancy, lane-skew stall
+    #: (prepared lanes waiting on the slowest frontier of a SID set),
+    #: dispatch→start prepare latency, pipelined cross-shard waves, and
+    #: lane-oracle boundary passes proving the interleaving serializable.
+    lane_segments: int = 0
+    lane_busy_time: float = 0.0
+    lane_stall_time: float = 0.0
+    lane_prepare_latency: float = 0.0
+    cross_waves_pipelined: int = 0
+    lane_oracle_checks: int = 0
+    #: Relaxed releases that needed the controller's live-record probe to
+    #: clear a hint-less batch (``CEConfig.frontier_probe``).
+    cc_overlap_probe_released: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return (f"{self.throughput:,.0f} tps, latency mean "
@@ -164,6 +180,22 @@ class Cluster:
         self.generated = 0
         #: Installed adversary behaviours (see :meth:`install`).
         self.adversaries: List[object] = []
+        #: Cluster-owned shard-lane pipelines, one per replica (each
+        #: replica executes every shard's committed work against its own
+        #: store, so each needs the full lane set).  Only built for the
+        #: relaxed CE engines: strict mode keeps the batch-synchronous
+        #: path untouched, so its schedules stay bit-identical.  The
+        #: pipelines are long-lived — they survive reconfigurations; epoch
+        #: hand-off drains through ShardLanePipeline.epoch_barrier.
+        self.lane_pipelines: Dict[int, ShardLanePipeline] = {}
+        if config.engine in ("ce", "ce-streaming") \
+                and not config.ce.strict_order:
+            for replica in self.replicas:
+                pipeline = ShardLanePipeline(
+                    self.env, replica._cross_exec, replica.store,
+                    metrics=self.metrics)
+                self.lane_pipelines[replica.id] = pipeline
+                replica.attach_lane_pipeline(pipeline)
 
     def install(self, behavior) -> None:
         """Install a fault/attack behaviour (repro.adversary.behaviors).
@@ -264,6 +296,14 @@ class Cluster:
             cc_bitset_words=metrics.cc_bitset_words,
             events_processed=self.env.events_processed,
             metrics=metrics,
+            lane_segments=metrics.lane_segments,
+            lane_busy_time=metrics.lane_busy_time,
+            lane_stall_time=metrics.lane_stall_time,
+            lane_prepare_latency=metrics.lane_prepare_latency,
+            cross_waves_pipelined=metrics.cross_waves_pipelined,
+            lane_oracle_checks=sum(p.oracle.checks
+                                   for p in self.lane_pipelines.values()),
+            cc_overlap_probe_released=metrics.cc_overlap_probe_released,
         )
 
     # -- safety inspection ---------------------------------------------------------

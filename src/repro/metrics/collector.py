@@ -60,6 +60,19 @@ class MetricsCollector:
         self.cc_overlap_released = 0
         self.cc_overlap_parked = 0
         self.cc_oracle_checks = 0
+        #: Of the overlap releases, those that needed the controller's
+        #: live-record probe (key_contended) to clear a hint-less
+        #: predecessor batch — zero unless CEConfig(frontier_probe=True).
+        self.cc_overlap_probe_released = 0
+        # Shard-lane pipeline accounting (relaxed cross-shard path; all
+        # zero in strict batch-synchronous mode).  Summed across replicas:
+        # every replica drives its own pipeline over its own store, like
+        # validation_reexecutions above.
+        self.lane_segments = 0
+        self.lane_busy_time = 0.0
+        self.lane_stall_time = 0.0
+        self.lane_prepare_latency = 0.0
+        self.cross_waves_pipelined = 0
         #: Closure-bitset backend tag the CE controllers ran on ("" until
         #: the first preplayed batch reports) and the peak closure row
         #: width, in 64-bit words, across all controllers.
@@ -112,12 +125,33 @@ class MetricsCollector:
         self.cc_overlap_released += stats.overlap_released
         self.cc_overlap_parked += stats.overlap_parked
         self.cc_oracle_checks += stats.oracle_checks
+        self.cc_overlap_probe_released += stats.overlap_probe_released
         if stats.index_backend:
             self.cc_index_backend = stats.index_backend
         if stats.bitset_words > self.cc_bitset_words:
             self.cc_bitset_words = stats.bitset_words
         if graph_nodes > self.ce_peak_graph_nodes:
             self.ce_peak_graph_nodes = graph_nodes
+
+    def record_lane_segment(self, lanes_occupied: int, busy_time: float,
+                            stall_time: float, prepare_latency: float) -> None:
+        """Fold one retired pipeline segment's lane accounting in.
+
+        ``lanes_occupied`` counts the shard lanes the segment held (1 for
+        local validation work, |SID set| for a cross-shard transaction);
+        ``busy_time`` is simulated occupancy summed over those lanes;
+        ``stall_time`` is lane-skew stall (prepared lanes waiting for the
+        slowest frontier in the SID set) and ``prepare_latency`` the
+        dispatch→start wait of the segment itself."""
+        self.lane_segments += lanes_occupied
+        self.lane_busy_time += busy_time
+        self.lane_stall_time += stall_time
+        self.lane_prepare_latency += prepare_latency
+
+    def record_lane_wave(self) -> None:
+        """Count one pipelined cross-shard wave (an ordered commit batch
+        dispatched through a ShardLanePipeline)."""
+        self.cross_waves_pipelined += 1
 
     # -- summaries ------------------------------------------------------------
 

@@ -230,6 +230,22 @@ def default_adversaries() -> List[AdversaryCase]:
                 heal_at=0.55 * scenario.duration)),
             config_overrides=(("k_silent", 10_000),)),
         AdversaryCase(
+            # A partition that splits *shards*, not just a straggler
+            # replica: the replica set halves, so every cross-shard
+            # transaction spanning the cut loses a committable quorum
+            # until the heal.  Over the pipelined relaxed path this
+            # stalls lanes mid-wave — exactly the window where a buggy
+            # pipeline could apply a half-prepared wave; the per-cell
+            # conservation invariant would catch it.
+            "shard-split-heal",
+            lambda cluster, scenario: cluster.install(Partition(
+                groups=(tuple(range(scenario.n_replicas // 2)),
+                        tuple(range(scenario.n_replicas // 2,
+                                    scenario.n_replicas))),
+                start=0.25 * scenario.duration,
+                heal_at=0.5 * scenario.duration)),
+            config_overrides=(("k_silent", 10_000),)),
+        AdversaryCase(
             "byzantine-exec",
             lambda cluster, scenario: cluster.install(ByzantineExecutor(
                 replicas=(1,), rate=1.0))),

@@ -1,0 +1,222 @@
+"""The relaxed-mode frontier probe (``CEConfig(frontier_probe=True)``).
+
+PR 9's release rule treats a hint-less in-flight batch as a wholesale
+barrier: the footprint frontier cannot see what an opaque batch touches.
+The probe closes that gap through the controller's live per-key records
+(``ConcurrencyController.key_contended`` over the dependency graph's
+writer/reader tables, kept current by the closure index): a hinted
+transaction may release past an opaque predecessor iff none of its hinted
+keys has live records.  These tests pin down
+
+* the release/park decisions and the ``overlap_probe_released`` counter,
+* that the probe never bypasses hinted-frontier conflicts or rebase
+  barriers,
+* and that probe-on, probe-off, and strict runs of a mixed hinted/opaque
+  stream all conserve money and end in the same final state.
+"""
+
+import pytest
+
+from repro.ce import CEConfig, StreamingRunner
+from repro.contracts import smallbank
+from repro.contracts.ops import ReadOp, WriteOp
+from repro.contracts.smallbank import checking_key, savings_key
+from repro.sim import Environment, make_rng
+from repro.txn import Transaction
+
+#: A deliberately long hint-less contract: many read/write rounds against
+#: one checking balance (net zero), registered *without* a footprint so
+#: batches containing it are opaque to the hint frontier.  Its length
+#: keeps the batch in flight long enough for a later admission to land
+#: mid-execution, with the account's graph records live for the probe.
+NOHINT_CHURN = "nohint.churn"
+
+
+def churn(account, rounds=25):
+    key = checking_key(account)
+    for _ in range(rounds):
+        balance = yield ReadOp(key)
+        yield WriteOp(key, balance + 1)
+        balance = yield ReadOp(key)
+        yield WriteOp(key, balance - 1)
+    return {"ok": True}
+
+
+def probe_registry():
+    registry = smallbank.default_registry()
+    registry.register(NOHINT_CHURN, churn)
+    return registry
+
+
+def tx(tx_id, contract, args):
+    return Transaction(tx_id=tx_id, contract=contract, args=args,
+                       shard_ids=(0,))
+
+
+def opaque_tx(tx_id, account):
+    return tx(tx_id, NOHINT_CHURN, (account,))
+
+
+def pay(tx_id, src, dst, amount=5):
+    return tx(tx_id, smallbank.SEND_PAYMENT, (src, dst, amount))
+
+
+def open_session(frontier_probe, executors=4, accounts=64):
+    env = Environment()
+    runner = StreamingRunner(
+        probe_registry(),
+        CEConfig(executors=executors, strict_order=False,
+                 frontier_probe=frontier_probe),
+        make_rng(0))
+    session = runner.open_session(env, dict(smallbank.initial_state(accounts)))
+    return env, runner, session
+
+
+def drive(session, env, batches, admit_gap=2e-4):
+    """Admit ``batches`` with a sim-time gap between admissions — the
+    churn transaction runs for ~6e-4, so at 2e-4 the previous batch is
+    mid-flight with its first records already in the graph — then drain
+    everything in order and close."""
+    def driver():
+        drains = []
+        for index, batch in enumerate(batches):
+            if index:
+                yield env.timeout(admit_gap)
+            session.admit(list(batch))
+            drains.append(session.drain())
+        results = []
+        for drain in drains:
+            results.append((yield drain))
+        return results
+
+    proc = env.process(driver())
+    env.run()
+    assert proc.triggered, "stream deadlocked"
+    session.close()
+    return proc.value
+
+
+def test_probe_releases_past_an_opaque_batch():
+    env, _runner, session = open_session(frontier_probe=True)
+    batches = [[opaque_tx(1, 0)],
+               # Disjoint from the churned account: may release early.
+               # Conflicting with it (account 0): must stay parked.
+               [pay(2, 10, 11), pay(3, 0, 1)]]
+    drive(session, env, batches)
+    stats = session.cc.stats
+    assert stats.overlap_probe_released == 1
+    assert stats.overlap_released == 1
+    assert stats.overlap_parked == 1
+    assert stats.oracle_checks == 2  # one proof per batch boundary
+
+
+def test_without_probe_an_opaque_batch_is_a_barrier():
+    env, _runner, session = open_session(frontier_probe=False)
+    batches = [[opaque_tx(1, 0)],
+               [pay(2, 10, 11), pay(3, 0, 1)]]
+    drive(session, env, batches)
+    stats = session.cc.stats
+    assert stats.overlap_probe_released == 0
+    assert stats.overlap_released == 0
+    assert stats.overlap_parked == 2  # the whole second batch parks
+
+
+def test_probe_does_not_bypass_hinted_frontier_conflicts():
+    """The probe is an *additional* condition on top of the hint
+    frontier, never a replacement: a transaction whose hint collides
+    with hinted in-flight work parks regardless."""
+    env, _runner, session = open_session(frontier_probe=True)
+    batches = [[opaque_tx(1, 0), pay(2, 20, 21)],
+               [pay(3, 20, 22), pay(4, 30, 31)]]
+    drive(session, env, batches)
+    stats = session.cc.stats
+    # tx 4 probes clean and releases; tx 3 hits the hinted frontier
+    # (account 20) and parks before the probe is even consulted.
+    assert stats.overlap_probe_released == 1
+    assert stats.overlap_released == 1
+    assert stats.overlap_parked == 1
+
+
+def test_probe_respects_rebase_barriers():
+    """A batch admitted with a base_view parks wholesale even under the
+    probe — a pending rebase needs a record-free graph."""
+    env, _runner, session = open_session(frontier_probe=True)
+
+    def driver():
+        session.admit([opaque_tx(1, 0)])
+        first = session.drain()
+        yield env.timeout(2e-4)
+        # The churn nets to zero, so rebasing onto the initial state at
+        # the boundary is consistent with the committed history.
+        session.admit([pay(2, 10, 11)],
+                      base_view=dict(smallbank.initial_state(64)))
+        second = session.drain()
+        yield first
+        yield second
+
+    proc = env.process(driver())
+    env.run()
+    assert proc.triggered
+    session.close()
+    stats = session.cc.stats
+    assert stats.overlap_released == 0
+    assert stats.overlap_probe_released == 0
+    assert stats.overlap_parked == 1
+
+
+def test_probe_on_off_and_strict_agree_on_final_state():
+    """Mixed opaque/hinted stream: the probe changes *when* work runs,
+    never the outcome — all three modes end in the same state, conserving
+    money, with every relaxed boundary's oracle check passing (a failed
+    check would surface as a ValidationError from env.run())."""
+    accounts = 32
+
+    def batches():
+        next_id = [1]
+
+        def take():
+            value = next_id[0]
+            next_id[0] += 1
+            return value
+        out = []
+        for round_index in range(6):
+            batch = [opaque_tx(take(), (round_index * 3) % accounts)]
+            for k in range(4):
+                src = (round_index * 5 + k * 7) % accounts
+                dst = (src + 3) % accounts
+                batch.append(pay(take(), src, dst))
+            out.append(batch)
+        return out
+
+    def run(strict, probe):
+        env = Environment()
+        runner = StreamingRunner(
+            probe_registry(),
+            CEConfig(executors=4, strict_order=strict,
+                     frontier_probe=probe),
+            make_rng(0))
+        proc = runner.run_stream(env, batches(),
+                                 dict(smallbank.initial_state(accounts)))
+        env.run()
+        assert proc.triggered
+        state = dict(smallbank.initial_state(accounts))
+        for batch in proc.value.batches:
+            state.update(batch.final_writes())
+        return proc.value, state
+
+    strict_result, strict_state = run(strict=True, probe=False)
+    relaxed_result, relaxed_state = run(strict=False, probe=False)
+    probed_result, probed_state = run(strict=False, probe=True)
+    assert probed_state == relaxed_state == strict_state
+    total = sum(strict_state.get(checking_key(a), 0)
+                + strict_state.get(savings_key(a), 0)
+                for a in range(accounts))
+    base = sum(dict(smallbank.initial_state(accounts)).values())
+    assert total == base
+    assert strict_result.stats.overlap_probe_released == 0
+    # Every batch is opaque, so without the probe nothing ever releases
+    # early; with it, most of the stream overlaps.
+    assert relaxed_result.stats.overlap_released == 0
+    assert probed_result.stats.overlap_probe_released > 0
+    assert probed_result.stats.overlap_probe_released \
+        == probed_result.stats.overlap_released
